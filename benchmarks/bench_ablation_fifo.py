@@ -1,0 +1,84 @@
+"""Ablation: logger FIFO threshold and service rate vs overload onset.
+
+Section 3.1.3 fixes the prototype at a 512-entry threshold and section
+4.5.3 derives the one-write-per-27-cycles stability point from the
+pipeline's service rate.  This ablation sweeps both: a faster logger
+moves the stability threshold left (fewer compute cycles needed); a
+deeper FIFO absorbs longer bursts but cannot change the steady-state
+threshold.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+ITERATIONS = 3000
+
+
+def overload_threshold(fresh_machine, **overrides):
+    """Smallest c with zero overloads (binary search over c)."""
+
+    def overloads_at(c):
+        machine = fresh_machine(**overrides)
+        proc = machine.current_process
+        seg = StdSegment(16 * PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        region.log(LogSegment(size=128 * 1024 * 1024, machine=machine))
+        va = region.bind(proc.address_space())
+        for page in range(16):
+            proc.write(va + page * PAGE_SIZE, 0)
+        machine.quiesce()
+        addr = 0
+        for _ in range(ITERATIONS):
+            proc.compute(c)
+            proc.write(va + addr % (16 * PAGE_SIZE), addr)
+            addr += 4
+        machine.quiesce()
+        return machine.logger.stats.overload_events
+
+    lo, hi = 0, 128
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if overloads_at(mid) == 0:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+@pytest.mark.benchmark(group="ablation-fifo")
+def test_ablation_logger_service_rate_and_fifo(benchmark, fresh_machine):
+    def sweep():
+        base = overload_threshold(fresh_machine)
+        fast = overload_threshold(fresh_machine, logger_service_cycles=14)
+        slow = overload_threshold(fresh_machine, logger_service_cycles=56)
+        deep = overload_threshold(
+            fresh_machine,
+            logger_fifo_capacity=8192,
+            logger_overload_threshold=4096,
+        )
+        return base, fast, slow, deep
+
+    base, fast, slow, deep = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header(
+        "Ablation: logger service rate and FIFO depth vs overload onset",
+        "sections 3.1.3 and 4.5.3",
+    )
+    print(f"  prototype (28 cyc/record, 512 threshold): c >= {base}")
+    print(f"  2x faster logger (14 cyc/record)        : c >= {fast}")
+    print(f"  2x slower logger (56 cyc/record)        : c >= {slow}")
+    print(f"  8x deeper FIFO (4096 threshold)         : c >= {deep}")
+
+    # The prototype's stability point is the paper's ~27 cycles.
+    assert 24 <= base <= 28
+    # Service rate moves the threshold proportionally.
+    assert fast < base < slow
+    assert slow == pytest.approx(2 * base, abs=6)
+    # A deeper FIFO only delays overload within a fixed-length run; the
+    # onset cannot move above the service-rate bound.
+    assert deep <= base

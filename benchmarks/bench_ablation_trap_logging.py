@@ -1,0 +1,97 @@
+"""Ablation: software log-generation techniques vs LVM.
+
+Section 5.1: extending page-protect checkpointing to per-write logging
+"would take over 3,000 cycles on current processors...  This cost
+motivates providing hardware support."  Section 5.3: inline
+instrumentation is the most competitive software alternative.
+
+Compares cycles per logged write for: LVM (hardware), inline
+instrumentation, and write-protect trapping — all producing the same
+log contents.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.baselines.instrumented import InstrumentedLogger
+from repro.baselines.write_protect import TrapLogger
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+N_WRITES = 300
+COMPUTE = 100
+
+
+def make_region(machine, logged):
+    proc = machine.current_process
+    seg = StdSegment(4 * PAGE_SIZE, machine=machine)
+    region = StdRegion(seg)
+    if logged:
+        region.log(LogSegment(size=16 * 1024 * 1024, machine=machine))
+    va = region.bind(proc.address_space())
+    for page in range(4):
+        proc.write(va + page * PAGE_SIZE, 0)
+    machine.quiesce()
+    return region, va
+
+
+def run_lvm(machine):
+    proc = machine.current_process
+    region, va = make_region(machine, logged=True)
+    t0 = proc.now
+    for i in range(N_WRITES):
+        proc.compute(COMPUTE)
+        proc.write(va + 4 * (i % 1024), i)
+    machine.quiesce()
+    return (proc.now - t0 - COMPUTE * N_WRITES) / N_WRITES
+
+
+def run_instrumented(machine):
+    proc = machine.current_process
+    region, va = make_region(machine, logged=False)
+    logger = InstrumentedLogger(proc, region)
+    logger.write(va, 0)  # map the log buffer
+    t0 = proc.now
+    for i in range(N_WRITES):
+        proc.compute(COMPUTE)
+        logger.write(va + 4 * (i % 1024), i)
+    return (proc.now - t0 - COMPUTE * N_WRITES) / N_WRITES
+
+
+def run_trapped(machine):
+    proc = machine.current_process
+    region, va = make_region(machine, logged=False)
+    logger = TrapLogger(proc, region)
+    t0 = proc.now
+    for i in range(N_WRITES):
+        proc.compute(COMPUTE)
+        logger.write(va + 4 * (i % 1024), i)
+    return (proc.now - t0 - COMPUTE * N_WRITES) / N_WRITES
+
+
+@pytest.mark.benchmark(group="ablation-trap")
+def test_ablation_log_generation_techniques(benchmark, fresh_machine):
+    def sweep():
+        return (
+            run_lvm(fresh_machine()),
+            run_instrumented(fresh_machine()),
+            run_trapped(fresh_machine()),
+        )
+
+    lvm, inline, trap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header(
+        "Ablation: log-generation techniques (cycles per logged write)",
+        "sections 5.1 and 5.3",
+    )
+    print(f"  LVM (hardware logger)      : {lvm:>8.1f}")
+    print(f"  inline instrumentation     : {inline:>8.1f}")
+    print(f"  write-protect trap per write: {trap:>7.1f}   (paper: >3000)")
+    print(f"\n  trap / LVM  : {trap / lvm:>8.0f}x")
+    print(f"  inline / LVM: {inline / lvm:>8.1f}x")
+
+    assert trap > 3000
+    assert lvm < 10
+    assert lvm < inline < trap

@@ -1,0 +1,74 @@
+"""Ablation: transaction length vs the RLVM advantage (section 4.2).
+
+"Longer transactions would also show greater benefit from LVM, assuming
+correspondingly more write operations as well.  TPC-A is a sequence of
+simple debit-credit operations.  Transactions in object-oriented
+database systems tend to be longer and involve far more processing."
+
+Sweeps the number of recoverable read-modify-writes per transaction and
+measures throughput under RVM and RLVM: the speedup grows from TPC-A's
+1.3x toward the asymptotic per-write ratio as set_range costs dominate
+RVM's transactions.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.rvm.rlvm import RLVM
+from repro.rvm.rvm import RVM
+
+WRITES_PER_TXN = [4, 16, 64, 256]
+TXNS = 25
+SEGMENT_BYTES = 64 * 1024
+
+
+def run(backend, writes_per_txn):
+    proc = backend.proc
+    va = backend.map("db", SEGMENT_BYTES)
+    is_rvm = isinstance(backend, RVM)
+    # Warm the pages.
+    for off in range(0, SEGMENT_BYTES, 4096):
+        proc.read(va + off)
+    proc.machine.quiesce()
+
+    t0 = proc.now
+    for t in range(TXNS):
+        txn = backend.begin()
+        for i in range(writes_per_txn):
+            addr = va + 4 * ((t * writes_per_txn + i) % (SEGMENT_BYTES // 4))
+            if is_rvm:
+                txn.set_range(addr, 4)
+            value = txn.read(addr)
+            txn.write(addr, (value + 1) & 0xFFFFFFFF)
+        txn.commit()
+        backend.truncate()
+    elapsed = proc.now - t0
+    clock_hz = proc.machine.config.clock_hz
+    return TXNS / (elapsed / clock_hz)
+
+
+@pytest.mark.benchmark(group="ablation-txn-length")
+def test_ablation_transaction_length(benchmark, fresh_machine):
+    def sweep():
+        rows = []
+        for n in WRITES_PER_TXN:
+            rvm_tps = run(RVM(fresh_machine().current_process), n)
+            rlvm_tps = run(RLVM(fresh_machine().current_process), n)
+            rows.append((n, rvm_tps, rlvm_tps, rlvm_tps / rvm_tps))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header(
+        "Ablation: transaction length vs the RLVM advantage", "section 4.2"
+    )
+    print(f"  {'writes/txn':>11} {'RVM tps':>9} {'RLVM tps':>9} {'speedup':>8}")
+    for n, rvm_tps, rlvm_tps, speedup in rows:
+        print(f"  {n:>11} {rvm_tps:>9.0f} {rlvm_tps:>9.0f} {speedup:>8.2f}")
+
+    speedups = [r[3] for r in rows]
+    # Longer transactions show greater benefit (monotone growth)...
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    # ...starting near the TPC-A ratio and growing several-fold.
+    assert 1.1 < speedups[0] < 1.6
+    assert speedups[-1] > 4 * speedups[0]

@@ -1,0 +1,70 @@
+"""Ablation: CPU write-buffer depth vs write-through penalty.
+
+Sections 4.5.2 / 4.6: "A larger write buffer in the processor would
+largely eliminate the difference between logged and unlogged for sizes
+of bursts that the write buffer could handle."  Sweeps the buffer depth
+against the burst size of the Figure 10 loop.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+DEPTHS = [1, 2, 4, 8, 16]
+BURST = 8
+COMPUTE = 512
+ITERATIONS = 500
+
+
+def run(machine, logged):
+    proc = machine.current_process
+    seg = StdSegment(16 * PAGE_SIZE, machine=machine)
+    region = StdRegion(seg)
+    if logged:
+        region.log(LogSegment(size=64 * 1024 * 1024, machine=machine))
+    va = region.bind(proc.address_space())
+    for page in range(16):
+        proc.write(va + page * PAGE_SIZE, 0)
+    machine.quiesce()
+
+    addr = 0
+    t0 = proc.now
+    for _ in range(ITERATIONS):
+        proc.compute(COMPUTE)
+        for _ in range(BURST):
+            proc.write(va + addr % (16 * PAGE_SIZE), addr)
+            addr += 4
+    machine.quiesce()
+    return (proc.now - t0 - COMPUTE * ITERATIONS) / (ITERATIONS * BURST)
+
+
+@pytest.mark.benchmark(group="ablation-write-buffer")
+def test_ablation_write_buffer_depth(benchmark, fresh_machine):
+    def sweep():
+        rows = []
+        for depth in DEPTHS:
+            logged = run(fresh_machine(write_buffer_depth=depth), True)
+            unlogged = run(fresh_machine(write_buffer_depth=depth), False)
+            rows.append((depth, logged, unlogged, logged - unlogged))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header(
+        f"Ablation: write-buffer depth (burst of {BURST} logged writes)",
+        "sections 4.5.2 and 4.6",
+    )
+    print(f"{'depth':>6} {'logged cyc/wr':>14} {'unlogged':>10} {'gap':>8}")
+    for depth, logged, unlogged, gap in rows:
+        print(f"{depth:>6} {logged:>14.2f} {unlogged:>10.2f} {gap:>8.2f}")
+
+    gaps = [gap for _, _, _, gap in rows]
+    # The gap shrinks monotonically with depth...
+    assert all(a >= b - 0.05 for a, b in zip(gaps, gaps[1:]))
+    # ...and a buffer covering the whole burst nearly eliminates it.
+    assert gaps[-1] < gaps[0] / 4
+    assert gaps[-1] < 1.0

@@ -1,0 +1,101 @@
+"""Figure 10: CPU cost of logged writes.
+
+Cycles per write as a function of compute cycles per iteration, for
+clusters of 2, 4 and 8 writes, with and without logging — the section
+4.5.1 methodology: iterations of (c compute cycles; w unlogged writes
+or l logged writes), addresses increasing so accesses hit the L2 but
+not generally the L1.
+
+Paper shape: "For small values of c, the logger is overloaded,
+resulting in poor performance.  For larger values of c (the flat
+portion of the curve), the difference between logged and unlogged is
+the cost of the write-through mode of the cache.  The cost of the
+write-through increases with the size of write burst."
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+CLUSTERS = [2, 4, 8]
+COMPUTE_SWEEP = [0, 16, 32, 64, 128, 256, 512, 1024]
+ITERATIONS = 400
+REGION_BYTES = 64 * PAGE_SIZE
+
+
+def make_region(machine, logged):
+    proc = machine.current_process
+    seg = StdSegment(REGION_BYTES, machine=machine)
+    region = StdRegion(seg)
+    if logged:
+        region.log(LogSegment(size=64 * 1024 * 1024, machine=machine))
+    va = region.bind(proc.address_space())
+    # Fault every page in ahead of the timed loop (section 4.5.1:
+    # "ensure the relevant memory regions are in the second-level
+    # cache").
+    for page in range(REGION_BYTES // PAGE_SIZE):
+        proc.write(va + page * PAGE_SIZE, 0)
+    machine.quiesce()
+    return va
+
+
+def run_loop(machine, va, c, burst):
+    """The section 4.5.1 test loop; returns cycles per write."""
+    proc = machine.current_process
+    addr = 0
+    t0 = proc.now
+    for _ in range(ITERATIONS):
+        proc.compute(c)
+        for _ in range(burst):
+            proc.write(va + addr % REGION_BYTES, addr)
+            addr += 4
+    machine.quiesce()
+    elapsed = proc.now - t0
+    return (elapsed - c * ITERATIONS) / (ITERATIONS * burst)
+
+
+def sweep(fresh_machine):
+    series = {}
+    for burst in CLUSTERS:
+        for logged in (True, False):
+            costs = []
+            for c in COMPUTE_SWEEP:
+                machine = fresh_machine()
+                va = make_region(machine, logged)
+                costs.append(run_loop(machine, va, c, burst))
+            series[(burst, logged)] = costs
+    return series
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_cpu_cost_of_logged_writes(benchmark, fresh_machine):
+    series = benchmark.pedantic(
+        lambda: sweep(fresh_machine), rounds=1, iterations=1
+    )
+
+    print_header("Figure 10: CPU Cost of Logged Writes", "section 4.5.2, Figure 10")
+    print(f"{'compute / iteration':>22}: "
+          + "".join(f"{c:>8}" for c in COMPUTE_SWEEP))
+    for burst in CLUSTERS:
+        for logged in (True, False):
+            label = f"cluster {burst} {'with' if logged else 'without'} log"
+            print(f"{label:>22}: "
+                  + "".join(f"{v:>8.1f}" for v in series[(burst, logged)]))
+
+    for burst in CLUSTERS:
+        logged = series[(burst, True)]
+        unlogged = series[(burst, False)]
+        # Overloaded region at tiny c: logged cost explodes.
+        assert logged[0] > 10 * unlogged[0]
+        # Flat region at large c: logged is close to unlogged plus the
+        # write-through cost.
+        assert logged[-1] < 15
+        assert logged[-1] >= unlogged[-1]
+    # The write-through gap grows with the burst size (section 4.5.2).
+    gap2 = series[(2, True)][-1] - series[(2, False)][-1]
+    gap8 = series[(8, True)][-1] - series[(8, False)][-1]
+    assert gap8 > gap2

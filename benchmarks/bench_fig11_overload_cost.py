@@ -1,0 +1,86 @@
+"""Figure 11: total cost of a logged write across the overload region.
+
+Average cycles per iteration for the section 4.5.3 test (w=0, l=1,
+c swept from 0 to 630), with and without logging.
+
+Paper shape: "overloading the logger is so expensive (more than 30,000
+cycles) that the time per iteration DECREASES as computation per loop
+increases.  However, this overload is avoided as long as there is no
+more than one logged write per 27 compute cycles on average."
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+COMPUTE_SWEEP = [0, 5, 10, 15, 20, 25, 27, 30, 40, 63, 127, 255, 630]
+ITERATIONS = 3000
+REGION_BYTES = 16 * PAGE_SIZE
+
+
+def run(machine, c, logged):
+    proc = machine.current_process
+    seg = StdSegment(REGION_BYTES, machine=machine)
+    region = StdRegion(seg)
+    if logged:
+        region.log(LogSegment(size=128 * 1024 * 1024, machine=machine))
+    va = region.bind(proc.address_space())
+    for page in range(REGION_BYTES // PAGE_SIZE):
+        proc.write(va + page * PAGE_SIZE, 0)
+    machine.quiesce()
+
+    addr = 0
+    t0 = proc.now
+    for _ in range(ITERATIONS):
+        proc.compute(c)
+        proc.write(va + addr % REGION_BYTES, addr)
+        addr += 4
+    machine.quiesce()
+    per_iter = (proc.now - t0) / ITERATIONS
+    return per_iter, machine.logger.stats.overload_events
+
+
+def sweep(fresh_machine):
+    logged, unlogged, overloads = [], [], []
+    for c in COMPUTE_SWEEP:
+        per_iter, events = run(fresh_machine(), c, logged=True)
+        logged.append(per_iter)
+        overloads.append(events)
+        per_iter, _ = run(fresh_machine(), c, logged=False)
+        unlogged.append(per_iter)
+    return logged, unlogged, overloads
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_total_cost_of_logged_write(benchmark, fresh_machine):
+    logged, unlogged, overloads = benchmark.pedantic(
+        lambda: sweep(fresh_machine), rounds=1, iterations=1
+    )
+
+    print_header("Figure 11: Total Cost of Logged Write", "section 4.5.3, Figure 11")
+    print(f"{'c':>6} {'with log (cyc/iter)':>21} {'without log':>13} {'overloads':>10}")
+    for c, lg, ul, ov in zip(COMPUTE_SWEEP, logged, unlogged, overloads):
+        print(f"{c:>6} {lg:>21.1f} {ul:>13.1f} {ov:>10}")
+
+    idx27 = COMPUTE_SWEEP.index(27)
+    # Deep overload at c=0 (an order of magnitude over the unlogged
+    # cost); cost per iteration *decreases* as c grows through the
+    # overload region (the paper's counterintuitive shape).
+    assert logged[0] > 15 * unlogged[0]
+    assert logged[0] > logged[idx27 - 1]
+    assert logged[idx27 - 1] >= logged[idx27] - 3
+    # "avoided as long as there is no more than one logged write per 27
+    # compute cycles": no overloads at or above c=27.
+    for c, ov in zip(COMPUTE_SWEEP, overloads):
+        if c >= 27:
+            assert ov == 0, f"unexpected overload at c={c}"
+    assert overloads[0] > 0
+    # Past the overload region the logged cost approaches c + the bare
+    # store cost, and matches the unlogged curve (the l=1 case has no
+    # burst, so the write buffer hides the bus entirely).
+    assert logged[-1] == pytest.approx(630 + 2, abs=3)
+    assert logged[-1] == pytest.approx(unlogged[-1], abs=1)

@@ -1,0 +1,87 @@
+"""Figure 7: LVM versus copy-based checkpointing.
+
+Speedup of LVM state saving over copy-based state saving in the
+"simulated" simulation, as a function of compute cycles per event c,
+for (w, s) in {(1, 32), (2, 64), (4, 128), (8, 256)}.
+
+Paper shape: "LVM provides a speedup over copy-based checkpointing
+ranging from [a few] percent for large values of c to [hundreds of]
+percent for smaller values of c.  The larger values of s provide the
+greatest improvement...  The performance for larger values of w drops
+off for LVM when c is below 200 cycles or so because the logger
+overflows."
+
+Methodology (section 4.3): single scheduler, no rollbacks — "the
+measurements do not incorporate the overhead for rollbacks, advancing
+global virtual time, and performing log truncation".
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.timewarp import SyntheticModel, TimeWarpSimulation
+
+CONFIGS = [(1, 32), (2, 64), (4, 128), (8, 256)]
+COMPUTE_SWEEP = [32, 64, 128, 256, 512, 1024, 2048, 4096]
+END_TIME = 250
+
+
+def run_once(fresh_machine, c, s, w, saver):
+    machine = fresh_machine(num_cpus=1)
+    sim = TimeWarpSimulation(
+        SyntheticModel(c=c, s=s, w=w, num_objects=8, seed=7),
+        end_time=END_TIME,
+        saver=saver,
+        n_schedulers=1,
+        machine=machine,
+        gvt_interval=10_000,  # forward path only, per the methodology
+    )
+    result = sim.run()
+    assert result.rollbacks == 0
+    return result
+
+
+def sweep(fresh_machine):
+    series = {}
+    for w, s in CONFIGS:
+        speedups = []
+        overloaded = []
+        for c in COMPUTE_SWEEP:
+            copy = run_once(fresh_machine, c, s, w, "copy")
+            lvm = run_once(fresh_machine, c, s, w, "lvm")
+            speedups.append(copy.elapsed_cycles / lvm.elapsed_cycles)
+            overloaded.append(lvm.overloads > 0)
+        series[(w, s)] = (speedups, overloaded)
+    return series
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_lvm_vs_copy_checkpointing(benchmark, fresh_machine):
+    series = benchmark.pedantic(
+        lambda: sweep(fresh_machine), rounds=1, iterations=1
+    )
+
+    print_header(
+        "Figure 7: LVM versus Copy-based Checkpointing", "section 4.3, Figure 7"
+    )
+    print(f"{'c (compute cycles)':>20}: "
+          + "".join(f"{c:>8}" for c in COMPUTE_SWEEP))
+    for (w, s), (speedups, overloaded) in series.items():
+        cells = "".join(
+            f"{sp:>7.2f}{'*' if ov else ' '}"
+            for sp, ov in zip(speedups, overloaded)
+        )
+        print(f"{f'w={w}, s={s}':>20}: {cells}")
+    print("\n(* = logger overload occurred on the LVM run)")
+
+    for (w, s), (speedups, _) in series.items():
+        # Speedup decreases monotonically-ish with c and stays >= ~1.
+        assert speedups[0] > speedups[-1]
+        assert speedups[-1] > 0.98
+        assert max(speedups) > 1.3  # real benefit at small c
+    # Larger objects benefit more at moderate c.
+    mid = COMPUTE_SWEEP.index(512)
+    assert series[(8, 256)][0][mid] > series[(1, 32)][0][mid]
+    # The overload drop-off exists for the largest w at the smallest c.
+    assert series[(8, 256)][1][0], "expected logger overload at w=8, c=32"
+    assert not series[(1, 32)][1][-1]

@@ -1,0 +1,97 @@
+"""Figure 9: execution time of resetDeferredCopy() versus bcopy().
+
+Three panels — 32 KB, 512 KB and 2 MB segments — plotting the cycles
+for ``resetDeferredCopy()`` against a raw ``bcopy`` of the whole
+segment as the amount of dirty data varies.
+
+Paper shape: "resetDeferredCopy() performs better than a raw copy if
+less than about two-thirds of the segment is dirty."
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.baselines.bcopy import bcopy
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import LINE_SIZE
+
+SEGMENT_SIZES = [32 * 1024, 512 * 1024, 2 * 1024 * 1024]
+DIRTY_FRACTIONS = [0.0, 0.1, 0.25, 0.5, 0.66, 0.75, 0.9, 1.0]
+
+
+def measure_reset(machine, seg_bytes, dirty_fraction):
+    """Dirty a fraction of the segment, then time resetDeferredCopy."""
+    proc = machine.current_process
+    source = StdSegment(seg_bytes, machine=machine)
+    dest = StdSegment(seg_bytes, machine=machine)
+    dest.source_segment(source)
+    region = StdRegion(dest)
+    va = region.bind(proc.address_space())
+
+    dirty_bytes = int(seg_bytes * dirty_fraction)
+    # Dirty whole pages (every line of each dirty page), untimed setup.
+    for offset in range(0, dirty_bytes, LINE_SIZE):
+        dest.write(offset, 0xD1, 4)
+
+    aspace = proc.address_space()
+    t0 = proc.now
+    aspace.reset_deferred_copy(va, va + seg_bytes, cpu=proc.cpu)
+    return proc.now - t0
+
+
+def measure_bcopy(machine, seg_bytes):
+    proc = machine.current_process
+    src = StdSegment(seg_bytes, machine=machine)
+    dst = StdSegment(seg_bytes, machine=machine)
+    t0 = proc.now
+    bcopy(proc.cpu, src, dst, seg_bytes)
+    return proc.now - t0
+
+
+def sweep(fresh_machine):
+    panels = {}
+    for seg_bytes in SEGMENT_SIZES:
+        machine = fresh_machine(memory_bytes=1024 * 1024 * 1024)
+        bcopy_cycles = measure_bcopy(machine, seg_bytes)
+        resets = [
+            measure_reset(fresh_machine(memory_bytes=1024 * 1024 * 1024),
+                          seg_bytes, f)
+            for f in DIRTY_FRACTIONS
+        ]
+        panels[seg_bytes] = (bcopy_cycles, resets)
+    return panels
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_reset_deferred_copy_vs_bcopy(benchmark, fresh_machine):
+    panels = benchmark.pedantic(
+        lambda: sweep(fresh_machine), rounds=1, iterations=1
+    )
+
+    print_header(
+        "Figure 9: Execution time of resetDeferredCopy()",
+        "section 4.4, Figure 9",
+    )
+    for seg_bytes, (bcopy_cycles, resets) in panels.items():
+        label = (f"{seg_bytes // 1024} KB" if seg_bytes < 1024 * 1024
+                 else f"{seg_bytes // (1024 * 1024)} MB")
+        print(f"\nsegment {label}:  bcopy = {bcopy_cycles / 1000:.1f} kilocycles")
+        print(f"  {'dirty':>8}  {'dirty KB':>9}  {'reset (kcyc)':>13}  faster?")
+        for fraction, cycles in zip(DIRTY_FRACTIONS, resets):
+            dirty_kb = fraction * seg_bytes / 1024
+            print(f"  {fraction:>8.2f}  {dirty_kb:>9.0f}  "
+                  f"{cycles / 1000:>13.1f}  "
+                  f"{'reset' if cycles < bcopy_cycles else 'bcopy'}")
+
+        # Crossover near two-thirds dirty (paper's headline result).
+        cheaper = [f for f, c in zip(DIRTY_FRACTIONS, resets)
+                   if c < bcopy_cycles]
+        assert max(cheaper) >= 0.5, "reset should win below half dirty"
+        crossover = next(
+            (f for f, c in zip(DIRTY_FRACTIONS, resets) if c >= bcopy_cycles),
+            None,
+        )
+        assert crossover is not None and 0.5 <= crossover <= 0.95
+        # Reset cost grows monotonically with dirtiness.
+        assert resets == sorted(resets)

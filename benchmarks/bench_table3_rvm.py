@@ -1,0 +1,78 @@
+"""Table 3: performance of RVM with and without LVM.
+
+==================  ===========  ============
+benchmark           RVM          RLVM
+==================  ===========  ============
+single write        3515 cycles  16 cycles
+TPC-A throughput    418 tps      552 tps
+==================  ===========  ============
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.rvm import RLVM, RVM, TPCABenchmark
+
+
+def measure_single_write(machine):
+    proc = machine.current_process
+
+    rvm = RVM(proc)
+    va = rvm.map("db", 4096)
+    proc.read(va)
+    txn = rvm.begin()
+    t0 = proc.now
+    txn.set_range(va, 4)
+    txn.write(va, 42)
+    rvm_cost = proc.now - t0
+    txn.commit()
+
+    rlvm = RLVM(proc)
+    va2 = rlvm.map("db", 4096)
+    proc.write(va2, 0)
+    machine.quiesce()
+    txn = rlvm.begin()
+    # Steady state: average over a warm run of writes.
+    txn.write(va2, 0)
+    t0 = proc.now
+    n = 200
+    for i in range(n):
+        txn.write(va2 + 4 * (i % 512), i)
+    rlvm_cost = (proc.now - t0) / n
+    txn.commit()
+    return rvm_cost, rlvm_cost
+
+
+def measure_tpca(machine, txns=80):
+    proc = machine.current_process
+    rvm_tps = TPCABenchmark(RVM(proc)).run(txns).tps
+    rlvm_tps = TPCABenchmark(RLVM(proc)).run(txns).tps
+    return rvm_tps, rlvm_tps
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_rvm_vs_rlvm(benchmark, fresh_machine):
+    def run():
+        m1 = fresh_machine(memory_bytes=512 * 1024 * 1024)
+        single = measure_single_write(m1)
+        m2 = fresh_machine(memory_bytes=512 * 1024 * 1024)
+        tpca = measure_tpca(m2)
+        return single, tpca
+
+    (rvm_w, rlvm_w), (rvm_tps, rlvm_tps) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print_header("Table 3: RVM with and without LVM", "section 4.2, Table 3")
+    print(f"{'Benchmark':<22}{'RVM':>14}{'RLVM':>14}{'(paper)':>20}")
+    print(f"{'Single write':<22}{rvm_w:>10.0f} cyc{rlvm_w:>10.1f} cyc"
+          f"{'(3515 / 16)':>20}")
+    print(f"{'TPC-A throughput':<22}{rvm_tps:>10.0f} tps{rlvm_tps:>10.0f} tps"
+          f"{'(418 / 552)':>20}")
+    print(f"\nper-write reduction : {rvm_w / rlvm_w:>6.0f}x  (paper: ~220x)")
+    print(f"TPC-A improvement   : {rlvm_tps / rvm_tps:>6.2f}x  (paper: 1.32x)")
+
+    assert rvm_w == 3515
+    assert rlvm_w < 50  # two orders of magnitude below RVM
+    assert rvm_tps == pytest.approx(418, rel=0.10)
+    assert rlvm_tps == pytest.approx(552, rel=0.10)

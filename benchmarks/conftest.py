@@ -1,0 +1,49 @@
+"""Shared helpers for the evaluation benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+section 4 (or an ablation).  The benchmarks measure *simulated machine
+cycles* — the unit the paper reports — and print the paper-comparable
+rows/series; pytest-benchmark wall times only measure the harness
+itself.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import boot, set_current_machine
+from repro.hw.params import MachineConfig
+
+
+@pytest.fixture
+def fresh_machine():
+    """Factory for isolated machines; cleans the context afterwards."""
+    machines = []
+
+    def make(**overrides):
+        defaults = dict(memory_bytes=256 * 1024 * 1024)
+        defaults.update(overrides)
+        machine = boot(MachineConfig(**defaults))
+        machines.append(machine)
+        return machine
+
+    yield make
+    set_current_machine(None)
+
+
+def print_header(title: str, paper: str) -> None:
+    print()
+    print("=" * 72)
+    print(f"{title}")
+    print(f"paper reference: {paper}")
+    print("=" * 72)
+
+
+def print_series(label: str, xs, ys, xfmt="{}", yfmt="{:.2f}") -> None:
+    print(f"\n{label}")
+    for x, y in zip(xs, ys):
+        print(f"  {xfmt.format(x):>10}  {yfmt.format(y)}")

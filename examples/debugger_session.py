@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A debugging session on LVM: watchpoints and reverse execution.
+
+A buggy "application" clobbers a variable it should not touch.  The
+debugger attaches logging to the application's region *dynamically*
+("with no change to the program binary", section 2.7), catches the
+overwrite, and reverse-executes to find exactly which write did it.
+
+Run:  python examples/debugger_session.py
+"""
+
+from repro import StdRegion, StdSegment, boot, this_process
+from repro.debugger import ReverseExecutor, WriteMonitor
+
+BALANCE = 0x40      # the variable we care about
+SCRATCH = 0x80      # where the app is supposed to write
+
+
+def buggy_application(proc, va, steps):
+    """Writes scratch data, but one iteration has an off-by-bug."""
+    for i in range(steps):
+        target = SCRATCH + 4 * (i % 4)
+        if i == 5:
+            target = BALANCE  # the bug: stray pointer
+        proc.write(va + target, 0xBEEF0000 + i)
+
+
+def main() -> None:
+    boot()
+    proc = this_process()
+
+    # The application sets up its memory — no logging anywhere.
+    seg = StdSegment(4096)
+    region = StdRegion(seg)
+    va = region.bind(proc.address_space())
+    proc.write(va + BALANCE, 1_000)
+    print(f"balance initialised to {proc.read(va + BALANCE)}")
+
+    # The debugger attaches: logging appears dynamically.  The monitor
+    # is non-consuming so the reverse executor sees the full history.
+    monitor = WriteMonitor(region, consume=False)
+    rex = ReverseExecutor(region)  # shares the same log
+    monitor.watch(va + BALANCE)
+    print("debugger attached; watching the balance word\n")
+
+    buggy_application(proc, va, steps=10)
+
+    hits, overwrites = monitor.poll()
+    print(f"application ran; balance is now {proc.read(va + BALANCE):#x} (!)")
+    print(f"watchpoint hits: {len(hits)}")
+    for hit in hits:
+        print(f"  write of {hit.value:#x} to {hit.vaddr:#x} at t={hit.timestamp}")
+
+    # Which write clobbered it, and what was there before?
+    culprits = rex.when_written(va + BALANCE)
+    pos, record = culprits[0]
+    print(f"\nreverse execution: balance was written at history position {pos}")
+    before = rex.state_at(pos - 1)
+    after = rex.state_at(pos)
+    b = int.from_bytes(before[BALANCE:BALANCE + 4], "little")
+    a = int.from_bytes(after[BALANCE:BALANCE + 4], "little")
+    print(f"  state before that write: balance = {b}")
+    print(f"  state after  that write: balance = {a:#x}")
+    print(f"  culprit wrote {record.value:#x} — iteration "
+          f"{record.value - 0xBEEF0000} of the loop is the bug")
+
+
+if __name__ == "__main__":
+    main()

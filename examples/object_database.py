@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A memory-mapped object database on LVM (the paper's section 1 pitch).
+
+Persistent objects read and written "in virtual memory with the same
+efficiency as standard C++ objects": a small customer/order database
+with transactions, an abort, a checkpoint, and a crash — and a
+measurement showing a persistent field write costs the same handful of
+cycles as a plain store.
+
+Run:  python examples/object_database.py
+"""
+
+from repro import boot, this_process, StdRegion, StdSegment
+from repro.oodb import ObjectStore, ObjectType
+
+
+def main() -> None:
+    machine = boot()
+    proc = this_process()
+
+    customer = ObjectType(
+        "Customer", [("balance", "u32"), ("orders", "u16"), ("vip", "u8")]
+    )
+    order = ObjectType("Order", [("amount", "u32"), ("customer", "oid")])
+    store = ObjectStore(proc, size=1 << 20, types=[customer, order])
+
+    # Populate the database.
+    with store.transaction() as txn:
+        alice = store.new(txn, customer, balance=500, vip=1)
+        bob = store.new(txn, customer, balance=120)
+        store.set_root(txn, alice)
+    print(f"created {store.count(customer)} customers")
+
+    # A business transaction: Bob places an order.
+    with store.transaction() as txn:
+        o = store.new(txn, order, amount=75, customer=bob.oid)
+        bob.set(txn, "balance", bob.get("balance") - 75)
+        bob.set(txn, "orders", bob.get("orders") + 1)
+    print(f"bob: balance={bob.get('balance')}, orders={bob.get('orders')}")
+
+    # A rejected transaction: aborted atomically (object + updates).
+    try:
+        with store.transaction() as txn:
+            store.new(txn, order, amount=10**6, customer=alice.oid)
+            alice.set(txn, "balance", 0)
+            raise RuntimeError("fraud check failed")
+    except RuntimeError:
+        pass
+    print(f"after aborted fraud: alice balance={alice.get('balance')}, "
+          f"orders in db={store.count(order)}")
+
+    # Checkpoint (apply the redo log to the durable image), then crash.
+    store.checkpoint()
+    with store.transaction() as txn:  # one more committed txn post-checkpoint
+        alice.set(txn, "balance", 450)
+    print("\n*** crash ***")
+    store = store.crash_and_recover()
+    customer, order = store._types
+    root = store.root()
+    print(f"recovered: root balance={root.get('balance')} (expected 450), "
+          f"{store.count(customer)} customers, {store.count(order)} orders")
+
+    # The efficiency claim: persistent field write vs plain store.
+    plain = StdSegment(4096)
+    pva = StdRegion(plain).bind(proc.address_space())
+    proc.write(pva, 0)
+
+    with store.transaction() as txn:
+        root.set(txn, "balance", 1)  # warm
+        t0 = proc.now
+        for i in range(100):
+            root.set(txn, "balance", i)
+        persistent_cost = (proc.now - t0) / 100
+
+    t0 = proc.now
+    for i in range(100):
+        proc.write(pva, i)
+    plain_cost = (proc.now - t0) / 100
+    print(f"\nfield write cost: persistent {persistent_cost:.1f} cycles vs "
+          f"plain {plain_cost:.1f} cycles")
+    print("(the residual gap is the write-through bus traffic; an "
+          "annotation-based RVM write costs 3,515 cycles — the paper's "
+          "point is that LVM makes persistence nearly free)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`)
+on environments without the `wheel` package (no-network install path).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Package self-demo: ``python -m repro``.
+
+Boots the simulated ParaDiGM machine, runs the paper's section 2.2
+example, and prints a short tour of what is in the box.
+"""
+
+from repro import (
+    LogSegment,
+    StdRegion,
+    StdSegment,
+    __version__,
+    boot,
+    this_process,
+)
+
+
+def main() -> None:
+    machine = boot()
+    config = machine.config
+    print(f"Logged Virtual Memory reproduction v{__version__}")
+    print(f"(Cheriton & Duda, SOSP 1995)\n")
+    print(f"machine: {config.num_cpus} CPUs @ {config.clock_hz // 10**6} MHz, "
+          f"{config.memory_bytes >> 20} MB memory, "
+          f"{'on-chip' if config.on_chip_logger else 'bus-snooping'} logger")
+
+    seg = StdSegment(4096)
+    region = StdRegion(seg)
+    log = LogSegment()
+    region.log(log)
+    proc = this_process()
+    va = region.bind(proc.address_space())
+
+    for i in range(4):
+        proc.write(va + 4 * i, 0xC0DE0000 + i)
+    machine.quiesce()
+
+    print(f"\nwrote 4 words to a logged region; the hardware logged:")
+    for record in log.records():
+        print(f"  addr={record.addr:#010x} value={record.value:#010x} "
+              f"t={record.timestamp}")
+    print(f"\nmachine time: {machine.time()} cycles")
+    print("\ntry the examples/ directory, `pytest tests/`, and "
+          "`pytest benchmarks/ --benchmark-only -s`")
+
+
+if __name__ == "__main__":
+    main()

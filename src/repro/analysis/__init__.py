@@ -1,0 +1,27 @@
+"""Log post-processing: redundancy analysis and statistics."""
+
+from repro.analysis.locality import (
+    LocalityReport,
+    analyse_locality,
+    reuse_distances,
+    working_set_curve,
+)
+from repro.analysis.logstats import LogStats, compute_stats, inter_write_gaps
+from repro.analysis.redundancy import (
+    RedundancyReport,
+    analyse,
+    last_write_only,
+)
+
+__all__ = [
+    "LocalityReport",
+    "analyse_locality",
+    "reuse_distances",
+    "working_set_curve",
+    "LogStats",
+    "compute_stats",
+    "inter_write_gaps",
+    "RedundancyReport",
+    "analyse",
+    "last_write_only",
+]

@@ -1,0 +1,102 @@
+"""Write-locality analysis from logs and traces (section 1).
+
+A write log is "a detailed address trace of a program ... useful for
+detecting and isolating performance problems or as input to memory
+system simulators".  This module computes the standard locality
+metrics a performance engineer would pull from such a trace: reuse
+distances, working-set growth, and page-level spatial locality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+
+from repro.hw.params import LINE_SIZE, PAGE_SIZE
+from repro.hw.records import LogRecord
+
+
+@dataclass
+class LocalityReport:
+    """Summary locality metrics for a write trace."""
+
+    accesses: int
+    unique_lines: int
+    unique_pages: int
+    #: reuse-distance histogram, bucketed by powers of two (bucket i
+    #: counts distances in [2^i, 2^(i+1))); -1 bucket = cold misses
+    reuse_histogram: dict[int, int]
+    #: fraction of accesses whose line was one of the 8 most recently
+    #: written lines (temporal locality score)
+    hot_fraction: float
+
+    @property
+    def cold_accesses(self) -> int:
+        return self.reuse_histogram.get(-1, 0)
+
+    def cache_hit_estimate(self, cache_lines: int) -> float:
+        """Estimated hit rate of a fully-associative LRU cache of
+        ``cache_lines`` lines, straight from the reuse distances."""
+        if self.accesses == 0:
+            return 0.0
+        hits = 0
+        for bucket, count in self.reuse_histogram.items():
+            if bucket < 0:
+                continue
+            # All distances in this bucket are < 2^(bucket+1); count
+            # the bucket as hits when even its upper bound fits.
+            if (1 << (bucket + 1)) <= cache_lines:
+                hits += count
+        return hits / self.accesses
+
+
+def reuse_distances(line_sequence: list[int]) -> list[int]:
+    """LRU stack distances for each access (-1 = first touch)."""
+    stack: OrderedDict[int, None] = OrderedDict()
+    out = []
+    for line in line_sequence:
+        if line in stack:
+            distance = list(stack.keys())[::-1].index(line)
+            out.append(distance)
+            stack.move_to_end(line)
+        else:
+            out.append(-1)
+            stack[line] = None
+    return out
+
+
+def analyse_locality(records: list[LogRecord]) -> LocalityReport:
+    """Compute locality metrics over a write-record sequence."""
+    lines = [r.addr // LINE_SIZE for r in records]
+    pages = {r.addr // PAGE_SIZE for r in records}
+    distances = reuse_distances(lines)
+
+    histogram: Counter[int] = Counter()
+    for d in distances:
+        if d < 0:
+            histogram[-1] += 1
+        else:
+            bucket = 0
+            while (1 << (bucket + 1)) <= d + 1:
+                bucket += 1
+            histogram[bucket] += 1
+
+    hot = sum(1 for d in distances if 0 <= d < 8)
+    return LocalityReport(
+        accesses=len(records),
+        unique_lines=len(set(lines)),
+        unique_pages=len(pages),
+        reuse_histogram=dict(histogram),
+        hot_fraction=hot / len(records) if records else 0.0,
+    )
+
+
+def working_set_curve(
+    records: list[LogRecord], window: int = 64
+) -> list[int]:
+    """Unique pages touched per ``window`` consecutive writes."""
+    out = []
+    for start in range(0, len(records), window):
+        chunk = records[start : start + window]
+        out.append(len({r.addr // PAGE_SIZE for r in chunk}))
+    return out

@@ -1,0 +1,71 @@
+"""Redundant-write analysis (section 2.7).
+
+"LVM performance can also suffer if application code places rapidly
+changing temporary variables in logged objects or repeatedly writes the
+same location when only the last write is of interest to log. ...
+Moreover, the logs provide the information required to identify and
+eliminate these redundant writes."
+
+This module is that identification tool: it ranks addresses by rewrite
+count and reports how much smaller the log would be if only each
+location's final value were kept.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.log_segment import LogSegment
+from repro.hw.records import LogRecord
+
+
+@dataclass
+class RedundancyReport:
+    """Summary of redundant writes in a log."""
+
+    total_writes: int
+    unique_locations: int
+    redundant_writes: int
+    #: (address, write count) for the most-rewritten locations
+    hot_locations: list[tuple[int, int]]
+
+    @property
+    def compression_ratio(self) -> float:
+        """log size / last-write-only size (1.0 = nothing redundant)."""
+        if self.unique_locations == 0:
+            return 1.0
+        return self.total_writes / self.unique_locations
+
+    @property
+    def redundant_fraction(self) -> float:
+        if self.total_writes == 0:
+            return 0.0
+        return self.redundant_writes / self.total_writes
+
+
+def analyse(records: list[LogRecord] | LogSegment, top: int = 10) -> RedundancyReport:
+    """Analyse a log (or record list) for redundant writes."""
+    if isinstance(records, LogSegment):
+        records = list(records.records())
+    counts: Counter[int] = Counter(r.addr for r in records)
+    total = len(records)
+    unique = len(counts)
+    return RedundancyReport(
+        total_writes=total,
+        unique_locations=unique,
+        redundant_writes=total - unique,
+        hot_locations=counts.most_common(top),
+    )
+
+
+def last_write_only(records: list[LogRecord]) -> list[LogRecord]:
+    """Collapse a log to each location's final write, in last-write order.
+
+    This is what a restructured application (or a coalescing log
+    consumer) would transmit or persist.
+    """
+    last: dict[int, LogRecord] = {}
+    for record in records:
+        last[record.addr] = record
+    return sorted(last.values(), key=lambda r: r.timestamp)

@@ -1,0 +1,19 @@
+"""Baseline log-generation and checkpointing techniques.
+
+The alternatives the paper measures LVM against (sections 4 and 5):
+raw ``bcopy`` copying, Li & Appel write-protect checkpointing,
+trap-per-write logging, and manual in-code instrumentation.
+"""
+
+from repro.baselines.bcopy import bcopy, bcopy_cost_cycles
+from repro.baselines.instrumented import InstrumentedLogger, MissedAnnotationAudit
+from repro.baselines.write_protect import TrapLogger, WriteProtectCheckpointer
+
+__all__ = [
+    "bcopy",
+    "bcopy_cost_cycles",
+    "InstrumentedLogger",
+    "MissedAnnotationAudit",
+    "TrapLogger",
+    "WriteProtectCheckpointer",
+]

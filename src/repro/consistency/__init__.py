@@ -1,0 +1,21 @@
+"""Distributed consistency protocols (section 2.6).
+
+:class:`MuninProtocol` is the twin/diff baseline; :class:`LogBasedProtocol`
+uses the LVM write log to identify and stream updates.
+"""
+
+from repro.consistency.dsm import (
+    DsmNode,
+    TransferStats,
+    WriteSharedProtocol,
+)
+from repro.consistency.log_based import LogBasedProtocol
+from repro.consistency.munin import MuninProtocol
+
+__all__ = [
+    "DsmNode",
+    "TransferStats",
+    "WriteSharedProtocol",
+    "LogBasedProtocol",
+    "MuninProtocol",
+]

@@ -1,0 +1,66 @@
+"""Munin-style twin/diff write-shared protocol (the baseline).
+
+Section 2.6: "In Munin, determining the updates is implemented by
+write-protecting pages, taking a page fault on write to such a page,
+creating a twin of the page and performing a word-by-word comparison to
+generate a list of differences when sending an update on a write-shared
+object.  Munin also defers sending the updates until lock release
+time."
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bcopy import bcopy_cost_cycles
+from repro.consistency.dsm import WriteSharedProtocol
+from repro.hw.params import PAGE_SIZE
+
+#: Word-by-word twin comparison cost, per word compared.
+DIFF_PER_WORD_CYCLES = 2
+
+
+class MuninProtocol(WriteSharedProtocol):
+    """Twin on first write fault; diff and send at release."""
+
+    def __init__(self, writer, consumers):
+        super().__init__(writer, consumers)
+        self._twins: dict[int, bytes] = {}
+        self.fault_count = 0
+        self.words_compared = 0
+
+    def _on_acquire(self) -> None:
+        # Pages are write-protected between critical sections; twins
+        # are made lazily on the first write fault to each page.
+        self._twins.clear()
+
+    def _on_write(self, offset: int, value: int, size: int) -> None:
+        proc = self.writer.proc
+        page = offset // PAGE_SIZE
+        if page not in self._twins:
+            # Write fault: trap, copy the page to its twin, unprotect.
+            self.fault_count += 1
+            proc.compute(proc.machine.config.protection_trap_cycles)
+            proc.compute(bcopy_cost_cycles(proc.machine.config, PAGE_SIZE))
+            self._twins[page] = self.writer.segment.read_bytes(
+                page * PAGE_SIZE, PAGE_SIZE
+            )
+            self.stats.in_section_cycles += (
+                proc.machine.config.protection_trap_cycles
+                + bcopy_cost_cycles(proc.machine.config, PAGE_SIZE)
+            )
+        proc.write(self.writer.base_va + offset, value, size)
+
+    def _on_release(self) -> None:
+        proc = self.writer.proc
+        updates: list[tuple[int, bytes]] = []
+        for page, twin in sorted(self._twins.items()):
+            current = self.writer.segment.read_bytes(page * PAGE_SIZE, PAGE_SIZE)
+            # Word-by-word comparison of the twin against the page.
+            words = PAGE_SIZE // 4
+            self.words_compared += words
+            proc.compute(DIFF_PER_WORD_CYCLES * words)
+            for w in range(words):
+                lo = 4 * w
+                if current[lo : lo + 4] != twin[lo : lo + 4]:
+                    updates.append((page * PAGE_SIZE + lo, current[lo : lo + 4]))
+        self.transmit(updates)
+        self._twins.clear()

@@ -1,0 +1,66 @@
+"""Core logged-virtual-memory API (Table 1 of the paper).
+
+The public surface mirrors the paper's C++ interface:
+
+* standard VM — :class:`StdSegment`, :class:`StdRegion`,
+  :class:`AddressSpace`, :func:`this_process`;
+* logging extensions — :class:`LogSegment`, :meth:`Region.log`,
+  :class:`LogMode`;
+* deferred copy — :meth:`Segment.source_segment`,
+  :meth:`AddressSpace.reset_deferred_copy`.
+"""
+
+from repro.hw.logger import LogMode
+from repro.core.address_space import AddressSpace, PageTableEntry
+from repro.core.context import (
+    boot,
+    current_machine,
+    set_current_machine,
+    use_machine,
+)
+from repro.core.deferred_copy import ResetStats, reset_cost_cycles
+from repro.core.heap import HeapAllocator, HeapError, audit_placement
+from repro.core.kernel import Kernel, KernelStats
+from repro.core.log_reader import LogFollower, RegionLogView
+from repro.core.log_segment import DEFAULT_LOG_CAPACITY, LogSegment
+from repro.core.process import Process, create_process, this_process, thisProcess
+from repro.core.region import Region, StdRegion
+from repro.core.segment import (
+    Segment,
+    SegmentManager,
+    SegmentPage,
+    StdSegment,
+    default_segment_manager,
+)
+
+__all__ = [
+    "LogMode",
+    "AddressSpace",
+    "PageTableEntry",
+    "boot",
+    "current_machine",
+    "set_current_machine",
+    "use_machine",
+    "ResetStats",
+    "reset_cost_cycles",
+    "HeapAllocator",
+    "HeapError",
+    "audit_placement",
+    "Kernel",
+    "KernelStats",
+    "LogFollower",
+    "RegionLogView",
+    "DEFAULT_LOG_CAPACITY",
+    "LogSegment",
+    "Process",
+    "create_process",
+    "this_process",
+    "thisProcess",
+    "Region",
+    "StdRegion",
+    "Segment",
+    "SegmentManager",
+    "SegmentPage",
+    "StdSegment",
+    "default_segment_manager",
+]

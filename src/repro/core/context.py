@@ -1,0 +1,62 @@
+"""Machine context: which simulated machine API calls apply to.
+
+The paper's API (Table 1) has no explicit machine parameter — it *is*
+the operating system.  To keep application code that faithful
+(``StdSegment(size)``, ``this_process().address_space()``, ...) while
+still allowing many independent machines in one Python process (tests,
+parameter sweeps), a current-machine context is kept here.  ``boot()``
+creates a machine with its kernel and initial process and makes it
+current; ``use_machine`` scopes a different machine temporarily.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.hw.machine import Machine
+from repro.hw.params import MachineConfig
+
+_current_machine: Machine | None = None
+
+
+def boot(config: MachineConfig | None = None) -> Machine:
+    """Create a machine, boot the kernel on it, and make it current.
+
+    Returns the booted machine.  The kernel creates an initial process
+    (with its own address space) running on CPU 0.
+    """
+    from repro.core.kernel import Kernel
+    from repro.core.process import Process
+
+    machine = Machine(config)
+    Kernel(machine)
+    machine.processes = [Process(machine, cpu_index=0)]
+    machine.current_process = machine.processes[0]
+    set_current_machine(machine)
+    return machine
+
+
+def set_current_machine(machine: Machine | None) -> None:
+    """Install ``machine`` as the current machine."""
+    global _current_machine
+    _current_machine = machine
+
+
+def current_machine() -> Machine:
+    """Return the current machine, booting a default one if needed."""
+    if _current_machine is None:
+        boot()
+    return _current_machine
+
+
+@contextlib.contextmanager
+def use_machine(machine: Machine) -> Iterator[Machine]:
+    """Temporarily make ``machine`` the current machine."""
+    global _current_machine
+    previous = _current_machine
+    _current_machine = machine
+    try:
+        yield machine
+    finally:
+        _current_machine = previous

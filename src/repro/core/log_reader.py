@@ -1,0 +1,132 @@
+"""Reading a region's log: address translation and streaming.
+
+The prototype logger stores *physical* addresses in log records
+(section 3.1.2), so every log consumer — rollback, RLVM commit, the
+debugger, log-based consistency — needs the reverse translation back to
+a segment offset or virtual address.  :class:`RegionLogView` is that
+shared consumer-side view; :class:`LogFollower` adds the streaming
+pattern of section 2.6, where "the output process executes
+asynchronously with respect to the application process and only
+synchronizes on the end of the log".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import LoggingError
+from repro.core.log_segment import LogSegment
+from repro.core.region import Region
+from repro.hw.params import PAGE_SIZE
+from repro.hw.records import LogRecord
+
+
+class RegionLogView:
+    """Consumer-side view of a logged region's records.
+
+    Translates each record's address (physical on the prototype,
+    virtual with the on-chip logger) to the region's segment offset and
+    virtual address.  The frame map is cached and refreshed lazily as
+    the segment grows.
+    """
+
+    def __init__(self, region: Region, log: LogSegment | None = None) -> None:
+        self.region = region
+        self.log = log if log is not None else region.log_segment
+        if self.log is None:
+            raise LoggingError("region has no log segment to read")
+        self._frame_map: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def offset_of(self, record: LogRecord) -> int:
+        """Segment offset the record's write landed at."""
+        if record.is_virtual:
+            return self.region.va_to_offset(record.addr)
+        target = record.addr // PAGE_SIZE
+        page_index = self._frame_map.get(target)
+        if page_index is None:
+            self._frame_map = {
+                page.frame.number: page.index
+                for page in self.region.segment.pages()
+            }
+            page_index = self._frame_map.get(target)
+        if page_index is None:
+            raise LoggingError(
+                f"log record address {record.addr:#x} is not backed by "
+                "any page of the region's segment"
+            )
+        return page_index * PAGE_SIZE + record.addr % PAGE_SIZE
+
+    def va_of(self, record: LogRecord) -> int:
+        """Virtual address the record's write targeted."""
+        if record.is_virtual:
+            return record.addr
+        return self.region.offset_to_va(self.offset_of(record))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[LogRecord]:
+        """Retained records of the log, in write order."""
+        return self.log.records()
+
+    def updates(self) -> Iterator[tuple[int, int, int]]:
+        """(segment offset, value, size) triples, in write order."""
+        for record in self.log.records():
+            yield self.offset_of(record), record.value, record.size
+
+    def apply_to(self, segment, limit_offset: int | None = None) -> int:
+        """Replay retained records onto ``segment`` (roll-forward).
+
+        Stops before the log offset ``limit_offset`` when given.
+        Returns the number of records applied.
+        """
+        applied = 0
+        for log_offset, record in self.log.records_with_offsets():
+            if limit_offset is not None and log_offset >= limit_offset:
+                break
+            segment.write(self.offset_of(record), record.value, record.size)
+            applied += 1
+        return applied
+
+
+class LogFollower:
+    """Incremental consumption of a growing log (section 2.6 output).
+
+    A separate process tails the log; :meth:`poll` returns the records
+    appended since the previous poll without truncating the log, so
+    the producer and other consumers are unaffected.
+    """
+
+    def __init__(self, view: RegionLogView) -> None:
+        self.view = view
+        self._cursor = view.log.start_offset
+        self.records_seen = 0
+
+    def poll(self) -> list[LogRecord]:
+        """Records appended since the last poll."""
+        log = self.view.log
+        if self._cursor < log.start_offset:
+            # The producer truncated past our cursor (records we already
+            # consumed), which is fine; resume at the truncation point.
+            self._cursor = log.start_offset
+        out = []
+        for offset, record in log.records_with_offsets():
+            if offset < self._cursor:
+                continue
+            out.append(record)
+        self._cursor = log.append_offset
+        self.records_seen += len(out)
+        return out
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes appended but not yet consumed."""
+        return max(0, self.view.log.append_offset - self._cursor)
+
+    def synchronize(self) -> list[LogRecord]:
+        """Sync with the end of the log (producer handoff point)."""
+        self.view.region.machine.sync(self.view.region.machine.cpu(0))
+        return self.poll()

@@ -1,0 +1,227 @@
+"""Log segments (sections 2.1 and 3.2).
+
+A :class:`LogSegment` is a segment that holds the log records generated
+for a logged region: "Every time the program writes to this region, the
+virtual memory hardware automatically appends a record of the write
+operation onto the log...  These log records are arranged sequentially
+in the log segment so that an earlier write is stored in a lower offset
+than a later write."
+
+The hardware appends through the logger's log-table entry; the kernel
+keeps this object's ``append_offset`` in sync via the
+``record_written`` hook, and answers page-boundary logging faults from
+:meth:`hw_append_paddr`.  "In our implementation, the user explicitly
+extends the log segment, normally in advance of a fault at the end of
+the log segment...  If the user has not provided a page, the kernel
+uses a default log page to absorb the log records" — records absorbed
+that way are counted in :attr:`lost_records`.  Construct with
+``auto_extend=True`` (the default convenience) to let the kernel extend
+the log automatically instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import LoggingError, SegmentError
+from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
+from repro.hw.records import (
+    EXTENDED_RECORD_SIZE,
+    LogRecord,
+    decode_extended_record,
+    decode_record,
+)
+from repro.core.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.machine import Machine
+
+#: Default capacity of a log segment (grows lazily, page at a time).
+DEFAULT_LOG_CAPACITY = 4 * 1024 * 1024
+
+#: Size of one indexed-mode entry (a bare data value, section 2.6).
+INDEXED_ENTRY_SIZE = 4
+
+
+class LogSegment(Segment):
+    """A segment receiving hardware-generated log records (Table 1)."""
+
+    def __init__(
+        self,
+        size: int = DEFAULT_LOG_CAPACITY,
+        initial_pages: int = 1,
+        auto_extend: bool = True,
+        extended_records: bool = False,
+        machine: "Machine | None" = None,
+    ) -> None:
+        super().__init__(size, machine=machine)
+        if initial_pages < 1:
+            raise LoggingError("a log segment needs at least one initial page")
+        #: next byte the hardware will append at
+        self.append_offset = 0
+        #: logical truncation point — records before this are discarded
+        self.start_offset = 0
+        #: pages the user has made available for appending
+        self.available_pages = min(initial_pages, self.num_pages)
+        self.auto_extend = auto_extend
+        #: true when records are the 24-byte extended format (on-chip
+        #: logger option, section 4.6)
+        self.extended_records = extended_records
+        self.records_appended = 0
+        self.lost_records = 0
+        #: set by the kernel while this log is loaded in the logger
+        self.attached_kernel = None
+        self.attached_index: int | None = None
+
+    # ------------------------------------------------------------------
+    # User interface
+    # ------------------------------------------------------------------
+    @property
+    def record_size(self) -> int:
+        """Stride of records in this log."""
+        return EXTENDED_RECORD_SIZE if self.extended_records else LOG_RECORD_SIZE
+
+    @property
+    def record_count(self) -> int:
+        """Number of records currently retained (after truncation)."""
+        skipped = sum(1 for _ in self._record_offsets(0, self.start_offset))
+        return self.records_appended - skipped
+
+    def extend(self, npages: int = 1) -> None:
+        """Make ``npages`` more pages available for appending.
+
+        Applications extend the log "normally in advance of a fault at
+        the end of the log segment" (section 3.2).
+        """
+        if npages < 1:
+            raise LoggingError("must extend by at least one page")
+        self.available_pages = min(self.available_pages + npages, self.num_pages)
+        if self.attached_kernel is not None:
+            self.attached_kernel.log_extended(self)
+
+    def truncate(self, through_offset: int | None = None) -> None:
+        """Discard records below ``through_offset`` (default: all).
+
+        Used by checkpoint-update-and-log-truncation (section 2.4) and
+        by RLVM after commit.  Truncation is logical; the hardware
+        append pointer is unaffected.
+        """
+        if through_offset is None:
+            through_offset = self.append_offset
+        if not 0 <= through_offset <= self.append_offset:
+            raise LoggingError("truncation point outside the logged range")
+        if through_offset < self.start_offset:
+            raise LoggingError("cannot un-truncate a log")
+        self.start_offset = through_offset
+
+    def rewind(self, to_offset: int) -> None:
+        """Discard the *tail* of the log from ``to_offset`` onward.
+
+        Used by rollback: after roll-forward stops at the cut point,
+        the records of undone events are discarded and the hardware
+        append pointer is moved back so new records continue from the
+        cut (section 2.4 rollback).
+        """
+        if not self.start_offset <= to_offset <= self.append_offset:
+            raise LoggingError("rewind point outside the logged range")
+        self.machine.quiesce()
+        self.append_offset = to_offset
+        self.records_appended = sum(1 for _ in self._record_offsets(0, to_offset))
+        if self.attached_kernel is not None:
+            self.attached_kernel.log_rewound(self)
+
+    def records(self) -> Iterator[LogRecord]:
+        """Iterate retained records in write order."""
+        for offset in self._record_offsets(self.start_offset, self.append_offset):
+            data = self.read_bytes(offset, self.record_size)
+            if self.extended_records:
+                yield decode_extended_record(data)
+            else:
+                yield decode_record(data)
+
+    def records_with_offsets(self) -> Iterator[tuple[int, LogRecord]]:
+        """Iterate ``(log_offset, record)`` pairs for retained records."""
+        for offset in self._record_offsets(self.start_offset, self.append_offset):
+            data = self.read_bytes(offset, self.record_size)
+            if self.extended_records:
+                yield offset, decode_extended_record(data)
+            else:
+                yield offset, decode_record(data)
+
+    def values(self, size: int = INDEXED_ENTRY_SIZE) -> Iterator[int]:
+        """Iterate bare data values for an indexed-mode log (section 2.6)."""
+        offset = self.start_offset
+        while offset + size <= self.append_offset:
+            yield int.from_bytes(self.read_bytes(offset, size), "little")
+            offset += size
+
+    # ------------------------------------------------------------------
+    # Kernel / hardware interface
+    # ------------------------------------------------------------------
+    def hw_append_paddr(self) -> int | None:
+        """Physical address for the hardware to append at, or None.
+
+        Returns None when the log is out of available pages (the kernel
+        then absorbs records into its default page and they are lost),
+        auto-extending first when configured to.
+        """
+        page_index = self.append_offset // PAGE_SIZE
+        if page_index >= self.num_pages:
+            return None
+        if page_index >= self.available_pages:
+            if not self.auto_extend:
+                return None
+            self.available_pages = page_index + 1
+        frame = self.page(page_index).frame
+        return frame.base_addr + self.append_offset % PAGE_SIZE
+
+    def note_append(self, nbytes: int) -> None:
+        """Kernel hook: the hardware appended ``nbytes`` at the tail."""
+        self.append_offset += nbytes
+        self.records_appended += 1
+
+    def note_lost(self) -> None:
+        """Kernel hook: a record was absorbed by the default page."""
+        self.lost_records += 1
+
+    def make_sink(self):
+        """Return an append sink for the on-chip logger (section 4.6).
+
+        The sink places a record payload, handling page-boundary padding
+        for the 24-byte extended format, and returns the physical
+        address to DMA to (or None when the log is full).
+        """
+
+        def sink(payload: bytes) -> int | None:
+            room = PAGE_SIZE - self.append_offset % PAGE_SIZE
+            if room < len(payload):
+                # Pad to the next page so records never straddle pages.
+                self.append_offset += room
+            dest = self.hw_append_paddr()
+            if dest is None:
+                self.lost_records += 1
+                return None
+            self.append_offset += len(payload)
+            self.records_appended += 1
+            return dest
+
+        return sink
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_offsets(self, start: int, end: int) -> Iterator[int]:
+        """Yield the offsets of whole records in ``[start, end)``."""
+        stride = self.record_size
+        offset = start
+        while offset + stride <= end:
+            if PAGE_SIZE - offset % PAGE_SIZE < stride:
+                # Extended records are padded past page boundaries.
+                offset = (offset // PAGE_SIZE + 1) * PAGE_SIZE
+                continue
+            yield offset
+            offset += stride
+
+    def _check_not_source(self) -> None:  # pragma: no cover - guard
+        if self.source is not None:
+            raise SegmentError("log segments cannot be deferred-copy destinations")

@@ -1,0 +1,146 @@
+"""Regions (Table 1).
+
+A region "represents a mapping to a given segment" and is the unit at
+which logging is specified: "Region R is called a logged region because
+it has a segment (segment B) specified as its log segment" (section
+2.1).  Logging is attached at the region level so that one segment —
+e.g. an object database — can be mapped by several processes with each
+process's writes logged to its own log segment, and so that logging can
+be enabled and disabled dynamically, even by a separate program such as
+a debugger, with no change to the application binary (section 2.7).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import BindError, LoggingError, RegionError
+from repro.hw.logger import LogMode
+from repro.core.log_segment import LogSegment
+from repro.core.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.address_space import AddressSpace
+
+
+class Region:
+    """Base class of region implementations."""
+
+    def __init__(self, segment: Segment) -> None:
+        self.segment = segment
+        self.machine = segment.machine
+        self.log_segment: LogSegment | None = None
+        self.log_mode = LogMode.NORMAL
+        #: kernel-assigned log-table index while the log is active
+        self.log_index: int | None = None
+        self.address_space: "AddressSpace | None" = None
+        self.base_va: int | None = None
+        #: page indices currently write-protected (applied to PTEs as
+        #: they fault in; see AddressSpace.protect_range)
+        self.protected_pages: set[int] = set()
+        #: called on a write-protection trap: handler(region, vaddr);
+        #: typically saves the page and unprotects it (Li & Appel)
+        self.protection_handler = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Size of the mapped range in bytes."""
+        return self.segment.size
+
+    @property
+    def is_bound(self) -> bool:
+        return self.address_space is not None
+
+    @property
+    def is_logged(self) -> bool:
+        return self.log_segment is not None
+
+    # ------------------------------------------------------------------
+    # Logging (Table 1: ``Region::log``)
+    # ------------------------------------------------------------------
+    def log(self, log_segment: LogSegment, mode: LogMode = LogMode.NORMAL) -> None:
+        """Declare ``log_segment`` as the log for this region.
+
+        "Log records for all writes to region this appear in ls."  May
+        be called before or after binding; attaching to a bound region
+        takes effect immediately (dynamic enabling, section 2.7).
+        """
+        if not isinstance(log_segment, LogSegment):
+            raise LoggingError("Region.log requires a LogSegment")
+        if self.log_segment is log_segment:
+            return
+        if self.log_segment is not None:
+            raise LoggingError(
+                "region already has a log segment; call unlog() first"
+            )
+        if log_segment.machine is not self.machine:
+            raise LoggingError("log segment belongs to a different machine")
+        self.log_segment = log_segment
+        self.log_mode = mode
+        if self.is_bound:
+            self.machine.kernel.attach_region_log(self)
+
+    def unlog(self) -> None:
+        """Dynamically disable logging for this region (section 2.7)."""
+        if self.log_segment is None:
+            return
+        if self.is_bound:
+            self.machine.kernel.detach_region_log(self)
+        self.log_segment = None
+        self.log_mode = LogMode.NORMAL
+
+    # ------------------------------------------------------------------
+    # Binding (Table 1: ``Region::bind``)
+    # ------------------------------------------------------------------
+    def bind(self, address_space: "AddressSpace", virtaddr: int = 0) -> int:
+        """Bind this region into ``address_space`` at ``virtaddr``.
+
+        A ``virtaddr`` of 0 lets the address space choose.  Returns the
+        virtual address of the mapping.
+        """
+        if self.is_bound:
+            raise BindError("region is already bound")
+        if address_space.machine is not self.machine:
+            raise BindError("address space belongs to a different machine")
+        self.base_va = address_space.attach(self, virtaddr)
+        self.address_space = address_space
+        if self.log_segment is not None:
+            self.machine.kernel.attach_region_log(self)
+        return self.base_va
+
+    def unbind(self) -> None:
+        """Remove this region from its address space."""
+        if not self.is_bound:
+            raise RegionError("region is not bound")
+        if self.log_segment is not None:
+            self.machine.kernel.detach_region_log(self)
+        self.address_space.detach(self)
+        self.address_space = None
+        self.base_va = None
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    def va_to_offset(self, vaddr: int) -> int:
+        """Translate a virtual address inside this mapping to a segment offset."""
+        if not self.is_bound:
+            raise RegionError("region is not bound")
+        offset = vaddr - self.base_va
+        if not 0 <= offset < self.size:
+            raise RegionError(f"virtual address {vaddr:#x} outside region")
+        return offset
+
+    def offset_to_va(self, offset: int) -> int:
+        """Translate a segment offset to its virtual address in this mapping."""
+        if not self.is_bound:
+            raise RegionError("region is not bound")
+        if not 0 <= offset < self.size:
+            raise RegionError(f"offset {offset} outside region")
+        return self.base_va + offset
+
+
+class StdRegion(Region):
+    """The standard region implementation (Table 1: ``StdRegion``)."""

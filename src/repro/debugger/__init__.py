@@ -1,0 +1,27 @@
+"""Debugging uses of LVM: write monitoring, reverse execution, tracing.
+
+The log-consuming tools of sections 1 and 2.7: a debugger attaches
+logging to a running program's regions with no change to the program
+binary, then watches writes, travels backward through the write
+history, or extracts address traces.
+"""
+
+from repro.debugger.reverse import ReverseExecutor
+from repro.debugger.trace import (
+    TraceCacheSimulator,
+    TraceEntry,
+    extract_trace,
+    write_intensity,
+)
+from repro.debugger.watch import Overwrite, WatchHit, WriteMonitor
+
+__all__ = [
+    "ReverseExecutor",
+    "TraceCacheSimulator",
+    "TraceEntry",
+    "extract_trace",
+    "write_intensity",
+    "Overwrite",
+    "WatchHit",
+    "WriteMonitor",
+]

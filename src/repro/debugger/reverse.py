@@ -1,0 +1,109 @@
+"""Reverse execution (section 1).
+
+"The log can also be used to support reverse execution, a debugging
+technique in which a program is allowed to run until it fails, and then
+backed up or reverse-executed until the problem is located."
+
+The executor snapshots the region when attached (the checkpoint) and
+reconstructs the memory state *as of any logged write* by replaying the
+log prefix onto a scratch copy — stepping backward is replaying one
+record fewer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoggingError
+from repro.core.log_reader import RegionLogView
+from repro.core.log_segment import LogSegment
+from repro.core.region import Region
+from repro.core.segment import StdSegment
+from repro.hw.records import LogRecord
+
+
+class ReverseExecutor:
+    """Navigate a region's history backward and forward."""
+
+    def __init__(self, region: Region) -> None:
+        if not region.is_bound:
+            raise LoggingError("attach the executor to a bound region")
+        self.region = region
+        self.machine = region.machine
+        if region.log_segment is None:
+            self.log = LogSegment(machine=self.machine)
+            region.log(self.log)
+        else:
+            self.log = region.log_segment
+        self._view = RegionLogView(region, self.log)
+        #: state of the region at attach time
+        self.checkpoint = bytes(region.segment.snapshot())
+        #: position in history: number of writes applied (None = live)
+        self._position: int | None = None
+
+    # ------------------------------------------------------------------
+    # History access
+    # ------------------------------------------------------------------
+    def history(self) -> list[LogRecord]:
+        """All logged writes since attach, oldest first."""
+        self.machine.sync(self.machine.cpu(0))
+        return list(self.log.records())
+
+    def __len__(self) -> int:
+        return len(self.history())
+
+    @property
+    def position(self) -> int:
+        """Current position: number of writes applied to the view."""
+        if self._position is None:
+            return len(self)
+        return self._position
+
+    # ------------------------------------------------------------------
+    # Time travel
+    # ------------------------------------------------------------------
+    def state_at(self, n_writes: int) -> bytes:
+        """Region contents after the first ``n_writes`` logged writes."""
+        history = self.history()
+        if not 0 <= n_writes <= len(history):
+            raise LoggingError(
+                f"position {n_writes} outside history of {len(history)} writes"
+            )
+        scratch = StdSegment(self.region.size, machine=self.machine)
+        scratch.write_bytes(0, self.checkpoint)
+        for record in history[:n_writes]:
+            offset = self._record_offset(record)
+            scratch.write(offset, record.value, record.size)
+        return scratch.snapshot()
+
+    def seek(self, n_writes: int) -> bytes:
+        """Move the view to ``n_writes`` and return that state."""
+        state = self.state_at(n_writes)
+        self._position = n_writes
+        return state
+
+    def step_back(self, n: int = 1) -> bytes:
+        """Reverse-execute ``n`` writes from the current position."""
+        return self.seek(max(0, self.position - n))
+
+    def step_forward(self, n: int = 1) -> bytes:
+        """Re-execute ``n`` writes forward."""
+        return self.seek(min(len(self), self.position + n))
+
+    def when_written(self, vaddr: int) -> list[tuple[int, LogRecord]]:
+        """All (position, record) pairs that wrote ``vaddr``.
+
+        This answers the debugger's question "who clobbered this
+        variable, and when?" directly from the log.
+        """
+        offset = self.region.va_to_offset(vaddr)
+        out = []
+        for i, record in enumerate(self.history()):
+            rec_off = self._record_offset(record)
+            if rec_off <= offset < rec_off + record.size:
+                out.append((i + 1, record))
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_offset(self, record: LogRecord) -> int:
+        return self._view.offset_of(record)

@@ -1,0 +1,118 @@
+"""First-level cache timing model.
+
+The 68040s have "an eight-kilobyte split I/D cache with a 16-byte line
+size" (section 4.1).  Only the data cache matters here, and only its
+*timing*: functional data always lives in the physical page frames.
+The model is a direct-mapped tag array used to decide whether a load or
+a write-back store hits in the L1 (1 cycle) or falls through to the
+second-level cache (4 cycles; the section 4.5 microbenchmarks are
+arranged so that "accesses always hit in the second-level cache but not
+generally in the first-level cache").
+
+Pages of logged regions are put in *write-through* mode by the kernel
+"so that all logged writes are immediately visible to the logger"
+(section 3.2); stores to such pages bypass this model and go through
+the CPU write buffer to the bus.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hw.params import LINE_SIZE
+
+
+class L2Cache:
+    """The shared second-level cache (4 MB in the prototype, §4.1).
+
+    Tag-only and optional: by default the machine model assumes every
+    L1 miss hits the L2, because the paper's experiments are sized to
+    fit it ("ensure the relevant memory regions are in the second-level
+    cache", §4.5.1).  Enabling ``MachineConfig.model_l2`` activates
+    this model so working sets larger than the L2 pay memory latency —
+    used by the cache-pressure tests.
+    """
+
+    def __init__(
+        self, size_bytes: int = 4 * 1024 * 1024, line_size: int = 32
+    ) -> None:
+        if size_bytes % line_size:
+            raise ConfigError("cache size must be a multiple of the line size")
+        self.line_size = line_size
+        self.num_lines = size_bytes // line_size
+        self._tags: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, paddr: int) -> bool:
+        """Touch the line containing ``paddr``; returns True on hit."""
+        line = paddr // self.line_size
+        index = line % self.num_lines
+        if self._tags.get(index) == line:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._tags[index] = line
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def invalidate_all(self) -> None:
+        self._tags.clear()
+
+
+class L1Cache:
+    """Direct-mapped tag-only data-cache model."""
+
+    def __init__(self, size_bytes: int = 8192, line_size: int = LINE_SIZE) -> None:
+        if size_bytes % line_size:
+            raise ConfigError("cache size must be a multiple of the line size")
+        self.line_size = line_size
+        self.num_lines = size_bytes // line_size
+        self._tags: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _slot(self, paddr: int) -> tuple[int, int]:
+        line = paddr // self.line_size
+        return line % self.num_lines, line
+
+    def access(self, paddr: int) -> bool:
+        """Touch the line containing ``paddr``; returns True on hit.
+
+        Misses allocate the line (both loads and write-back stores
+        allocate on the 68040 model used here).
+        """
+        index, tag = self._slot(paddr)
+        if self._tags.get(index) == tag:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._tags[index] = tag
+        return False
+
+    def contains(self, paddr: int) -> bool:
+        """True when the line holding ``paddr`` is resident (no side effects)."""
+        index, tag = self._slot(paddr)
+        return self._tags.get(index) == tag
+
+    def invalidate_all(self) -> None:
+        """Flush the cache (context switch / explicit invalidation)."""
+        self._tags.clear()
+
+    def invalidate_range(self, paddr: int, length: int) -> int:
+        """Invalidate all lines overlapping ``[paddr, paddr+length)``.
+
+        Returns the number of lines actually dropped.
+        """
+        dropped = 0
+        first = paddr // self.line_size
+        last = (paddr + max(length, 1) - 1) // self.line_size
+        for line in range(first, last + 1):
+            index = line % self.num_lines
+            if self._tags.get(index) == line:
+                del self._tags[index]
+                dropped += 1
+        return dropped

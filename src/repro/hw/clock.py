@@ -1,0 +1,60 @@
+"""Cycle clock and the logger's 6.25 MHz timestamp counter.
+
+The machine does not have a single global "now": each CPU advances its
+own local cycle time and shared devices (bus, logger) track the time at
+which they are next free.  The :class:`Clock` records the *machine*
+time, defined as the maximum time any component has reached — this is
+what elapsed-time measurements report.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Clock:
+    """Monotonic machine-cycle clock.
+
+    The clock only moves forward.  Components call :meth:`advance_to`
+    when they complete work at a given cycle; :attr:`now` is the high
+    water mark across the machine.
+    """
+
+    def __init__(self, timestamp_divider: int = 4) -> None:
+        if timestamp_divider < 1:
+            raise ConfigError("timestamp divider must be >= 1")
+        self._now = 0
+        self._timestamp_divider = timestamp_divider
+
+    @property
+    def now(self) -> int:
+        """Current machine time in cycles (high-water mark)."""
+        return self._now
+
+    def advance_to(self, cycle: int) -> int:
+        """Move the machine high-water mark to ``cycle`` if later.
+
+        Returns the (possibly unchanged) current time.  Moving backwards
+        is a no-op, not an error: independent components complete work
+        out of order.
+        """
+        if cycle > self._now:
+            self._now = cycle
+        return self._now
+
+    def timestamp(self, cycle: int | None = None) -> int:
+        """Logger timestamp for ``cycle`` (default: now).
+
+        The prototype logger timestamps records with a 6.25 MHz counter
+        (one tick per ``timestamp_divider`` cycles, section 3.1).
+        """
+        if cycle is None:
+            cycle = self._now
+        return cycle // self._timestamp_divider
+
+    def reset(self) -> None:
+        """Reset the clock to cycle zero (used between experiments)."""
+        self._now = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"

@@ -1,0 +1,81 @@
+"""Bounded hardware FIFO with an occupancy threshold.
+
+The prototype logger contains two such FIFOs (the write FIFO and the
+log-record FIFO, section 3.1).  Entries are tagged with the cycle at
+which they became available so the logger pipeline can be simulated
+lazily: the consumer drains entries according to its service rate
+whenever time is observed to have advanced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+class HardwareFifo(Generic[T]):
+    """A bounded FIFO of ``(ready_cycle, item)`` entries.
+
+    ``threshold`` models the logger's overload watermark: pushing an
+    entry that brings occupancy *above* the threshold is reported to the
+    caller (who raises the overload interrupt).  Pushing beyond
+    ``capacity`` loses the entry, mirroring real FIFO overflow; the
+    machine is expected to prevent this by suspending producers at the
+    threshold, so overflow is also counted.
+    """
+
+    def __init__(self, capacity: int, threshold: int | None = None) -> None:
+        if capacity < 1:
+            raise ConfigError("FIFO capacity must be >= 1")
+        if threshold is not None and threshold > capacity:
+            raise ConfigError("FIFO threshold exceeds capacity")
+        self.capacity = capacity
+        self.threshold = threshold if threshold is not None else capacity
+        self._entries: deque[tuple[int, T]] = deque()
+        self.overflow_count = 0
+        self.high_water_mark = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[int, T]]:
+        return iter(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of entries currently queued."""
+        return len(self._entries)
+
+    def push(self, ready_cycle: int, item: T) -> bool:
+        """Queue ``item``, available to the consumer at ``ready_cycle``.
+
+        Returns ``True`` if the push raised occupancy above the overload
+        threshold.  If the FIFO is at hard capacity the entry is dropped
+        and counted in :attr:`overflow_count` (log records are lost).
+        """
+        if len(self._entries) >= self.capacity:
+            self.overflow_count += 1
+            return True
+        self._entries.append((ready_cycle, item))
+        if len(self._entries) > self.high_water_mark:
+            self.high_water_mark = len(self._entries)
+        return len(self._entries) > self.threshold
+
+    def peek(self) -> tuple[int, T]:
+        """Return the head entry without removing it."""
+        return self._entries[0]
+
+    def pop(self) -> tuple[int, T]:
+        """Remove and return the head ``(ready_cycle, item)`` entry."""
+        return self._entries.popleft()
+
+    def clear(self) -> None:
+        """Discard all queued entries."""
+        self._entries.clear()

@@ -1,0 +1,55 @@
+"""Interrupt controller.
+
+The prototype logger signals the kernel with hardware interrupts for
+two conditions (section 3.1): *logging faults* (missing page-mapping
+entry or invalid log-table entry) and *overload* (write FIFO above its
+threshold).  This controller is a small dispatch/bookkeeping layer so
+the kernel's handlers are registered and observable like real interrupt
+vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+class Interrupt(enum.Enum):
+    """Interrupt vectors raised by the hardware."""
+
+    LOGGING_FAULT_PMT = "logging_fault_pmt"
+    LOGGING_FAULT_BOUNDARY = "logging_fault_boundary"
+    LOGGER_OVERLOAD = "logger_overload"
+
+
+Handler = Callable[..., object]
+
+
+class InterruptController:
+    """Registry and dispatcher for hardware interrupts."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[Interrupt, Handler] = {}
+        self.counts: dict[Interrupt, int] = {vec: 0 for vec in Interrupt}
+
+    def register(self, vector: Interrupt, handler: Handler) -> None:
+        """Install ``handler`` for ``vector`` (replacing any previous one)."""
+        self._handlers[vector] = handler
+
+    def raise_interrupt(self, vector: Interrupt, *args, **kwargs):
+        """Dispatch ``vector``; returns the handler's result."""
+        handler = self._handlers.get(vector)
+        if handler is None:
+            raise ConfigError(f"no handler registered for {vector.value}")
+        self.counts[vector] += 1
+        return handler(*args, **kwargs)
+
+    def count(self, vector: Interrupt) -> int:
+        """Number of times ``vector`` has been raised."""
+        return self.counts[vector]
+
+    def reset_counts(self) -> None:
+        for vec in self.counts:
+            self.counts[vec] = 0

@@ -1,0 +1,90 @@
+"""The logger's log table.
+
+"The log table contains one entry per log indicating the address of the
+end of that log" (section 3.1).  The logger increments the entry's log
+address by 16 after writing each record; when the address crosses a
+page boundary the entry is marked invalid, and the next record destined
+for that log raises a logging fault that the kernel services by
+supplying the physical address of the log's next page (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, LoggingError
+from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
+
+
+@dataclass
+class LogTableEntry:
+    """One log's append state inside the logger."""
+
+    log_address: int
+    valid: bool = True
+
+
+class LogTable:
+    """Fixed-size table of per-log append addresses."""
+
+    def __init__(self, num_entries: int = 64) -> None:
+        if num_entries < 1:
+            raise ConfigError("log table needs at least one entry")
+        self.num_entries = num_entries
+        self._entries: dict[int, LogTableEntry] = {}
+
+    def allocate_index(self) -> int:
+        """Pick a free slot for a new log; raises when the table is full."""
+        for index in range(self.num_entries):
+            if index not in self._entries:
+                return index
+        raise LoggingError(
+            f"log table full ({self.num_entries} active logs); "
+            "unload an existing log first"
+        )
+
+    def load(self, index: int, log_address: int) -> None:
+        """Initialise slot ``index`` to append at ``log_address``."""
+        self._check_index(index)
+        if log_address % LOG_RECORD_SIZE:
+            raise LoggingError("log address must be 16-byte aligned")
+        self._entries[index] = LogTableEntry(log_address)
+
+    def unload(self, index: int) -> LogTableEntry | None:
+        """Remove slot ``index`` and return its final state."""
+        self._check_index(index)
+        return self._entries.pop(index, None)
+
+    def get(self, index: int) -> LogTableEntry | None:
+        """Return slot ``index`` or None if not loaded."""
+        self._check_index(index)
+        return self._entries.get(index)
+
+    def advance(self, index: int, nbytes: int = LOG_RECORD_SIZE) -> int:
+        """Consume ``nbytes`` of space from log ``index``.
+
+        Returns the physical address the record should be written to and
+        bumps the entry, invalidating it when the new address crosses
+        into the next page (the kernel must then supply the next page of
+        the log segment via a logging fault, section 3.2).
+        """
+        entry = self._entries.get(index)
+        if entry is None or not entry.valid:
+            raise LoggingError(f"log table entry {index} is not valid")
+        addr = entry.log_address
+        entry.log_address = addr + nbytes
+        if entry.log_address % PAGE_SIZE == 0:
+            entry.valid = False
+        return addr
+
+    def is_ready(self, index: int) -> bool:
+        """True when slot ``index`` is loaded and valid."""
+        entry = self._entries.get(index)
+        return entry is not None and entry.valid
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_entries:
+            raise LoggingError(f"log table index {index} out of range")
+
+    def __len__(self) -> int:
+        return len(self._entries)

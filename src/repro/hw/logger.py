@@ -1,0 +1,333 @@
+"""The hardware logger (section 3.1).
+
+"The logger is a hardware device that snoops the system bus for write
+operations to logged segments and translates each such write operation
+into a log record, storing it in the associated log segment."
+
+Pipeline (Figure 5): bus snoop → write FIFO → page-mapping-table lookup
+→ log-table lookup/update → log-record FIFO → DMA into memory.
+
+The pipeline is simulated *lazily*: snooped writes are queued with the
+cycle at which they appeared on the bus, and are serviced (one every
+``logger_service_cycles``) whenever time is observed to advance.  This
+keeps the model deterministic and fast while reproducing the two
+timing behaviours the paper measures:
+
+* the stability threshold — the logger keeps up as long as there is no
+  more than one logged write per ~27 compute cycles (section 4.5.3);
+* the overload penalty — crossing the 512-entry FIFO threshold raises
+  an interrupt and the kernel suspends all processes that might
+  generate log data until the FIFOs drain, costing >30,000 cycles.
+
+Faults (section 3.2): a PMT miss or an invalid log-table entry (log
+address crossed a page boundary) raises a *logging fault*, serviced by
+the kernel through the :class:`LoggingFaultHandler` protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+from repro.hw.bus import BusWrite, SystemBus
+from repro.hw.clock import Clock
+from repro.hw.fifo import HardwareFifo
+from repro.hw.log_table import LogTable
+from repro.hw.memory import PhysicalMemory
+from repro.hw.page_mapping_table import PageMappingTable
+from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE, MachineConfig
+from repro.hw.records import encode_record
+
+
+class LogMode(enum.Enum):
+    """Logging modes (sections 2.1 and 2.6)."""
+
+    #: Append a 16-byte (address, value, size, timestamp) record.
+    NORMAL = "normal"
+    #: Write the update value to the *corresponding offset* of the log
+    #: segment (mapped-I/O output, section 2.6).
+    DIRECT_MAPPED = "direct_mapped"
+    #: Append just the data values, without addresses — streamed output
+    #: (section 2.6).  Values are stored as 4-byte little-endian words.
+    INDEXED = "indexed"
+
+
+#: Size of one indexed-mode log entry (a bare data value).
+INDEXED_ENTRY_SIZE = 4
+
+
+class LoggingFaultHandler(Protocol):
+    """Kernel services invoked by the logger.
+
+    Handler methods return the number of kernel cycles consumed; the
+    logger adds that to its pipeline stall.
+    """
+
+    def pmt_miss(self, paddr: int) -> tuple[int | None, int]:
+        """PMT missed for ``paddr``.
+
+        Returns ``(log_index, cycles)``; ``log_index`` is None when no
+        log serves this page (the record is dropped).
+        """
+        ...  # pragma: no cover - protocol
+
+    def log_boundary(self, log_index: int) -> tuple[int | None, int]:
+        """Log ``log_index`` needs its next page.
+
+        Returns ``(log_address, cycles)``; ``log_address`` is None when
+        no page is available, in which case the logger redirects records
+        to the kernel's default log page and they are lost (section 3.2).
+        """
+        ...  # pragma: no cover - protocol
+
+    def record_written(self, log_index: int, paddr: int, nbytes: int) -> None:
+        """A record was DMA'd for log ``log_index`` at ``paddr``."""
+        ...  # pragma: no cover - protocol
+
+    def record_lost(self, log_index: int) -> None:
+        """A record for log ``log_index`` was absorbed by the default page."""
+        ...  # pragma: no cover - protocol
+
+    def overload(self, drain_complete_cycle: int) -> None:
+        """The write FIFO crossed its threshold (overload interrupt)."""
+        ...  # pragma: no cover - protocol
+
+
+class LoggerStats:
+    """Counters exposed for the evaluation benchmarks."""
+
+    def __init__(self) -> None:
+        self.records_logged = 0
+        self.records_dropped = 0
+        self.overload_events = 0
+        self.logging_faults = 0
+        self.pmt_fault_count = 0
+        self.boundary_fault_count = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class Logger:
+    """Bus-snooping hardware logger."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: PhysicalMemory,
+        bus: SystemBus,
+        clock: Clock,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.bus = bus
+        self.clock = clock
+        self.pmt = PageMappingTable(config.pmt_index_bits, config.pmt_tag_bits)
+        self.log_table = LogTable(config.log_table_entries)
+        self.write_fifo: HardwareFifo[BusWrite] = HardwareFifo(
+            config.logger_fifo_capacity, config.logger_overload_threshold
+        )
+        self.stats = LoggerStats()
+        self._service_free = 0
+        self._modes: dict[int, LogMode] = {}
+        #: direct-mapped mode: source physical page -> log dest page base
+        self._direct_map: dict[int, int] = {}
+        self._fault_handler: LoggingFaultHandler | None = None
+        #: default page used to absorb records when a log has no next
+        #: page available; records written here are lost (section 3.2).
+        self._default_page_paddr: int | None = None
+        #: logs currently absorbing into the default page
+        self._absorbing: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Kernel-facing configuration
+    # ------------------------------------------------------------------
+    def attach_fault_handler(self, handler: LoggingFaultHandler) -> None:
+        """Register the kernel's logging-fault / overload handler."""
+        self._fault_handler = handler
+
+    def set_default_page(self, paddr: int) -> None:
+        """Set the kernel's default absorption page (section 3.2)."""
+        self._default_page_paddr = paddr
+
+    def set_log_mode(self, log_index: int, mode: LogMode) -> None:
+        """Declare the logging mode for log-table slot ``log_index``."""
+        self._modes[log_index] = mode
+
+    def load_direct_mapping(self, src_paddr: int, dest_page_base: int) -> None:
+        """Map a source page to its direct-mapped log destination page."""
+        self._direct_map[src_paddr // PAGE_SIZE] = dest_page_base
+
+    def is_absorbing(self, log_index: int) -> bool:
+        """True while records for this log are being lost to the default page."""
+        return log_index in self._absorbing
+
+    def resume_log(self, log_index: int, log_address: int) -> None:
+        """Point a log back at real storage after default-page absorption.
+
+        Called by the kernel when the user extends a log segment that
+        had run out of pages ("the kernel then can efficiently resume
+        the log writing", section 3.2).
+        """
+        self._absorbing.discard(log_index)
+        self.log_table.load(log_index, log_address)
+
+    def unload_log(self, log_index: int) -> int | None:
+        """Unload a log from the logger tables (e.g. on context switch).
+
+        Returns the log's current append address so the kernel can
+        record the log segment's true length, or None if not loaded.
+        """
+        self._modes.pop(log_index, None)
+        self._absorbing.discard(log_index)
+        self.pmt.invalidate_log(log_index)
+        entry = self.log_table.unload(log_index)
+        return entry.log_address if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # Bus snooping (producer side)
+    # ------------------------------------------------------------------
+    def snoop_write(self, complete_cycle: int, write: BusWrite) -> None:
+        """Observe a completed bus write (SystemBus snooper hook).
+
+        Only writes whose page mapping asserted the bus "log" signal are
+        latched (section 3.1).
+        """
+        if write.log_tag is None:
+            return
+        self.drain(complete_cycle)
+        overloaded = self.write_fifo.push(complete_cycle, write)
+        if overloaded:
+            self._handle_overload(complete_cycle)
+
+    # ------------------------------------------------------------------
+    # Pipeline (consumer side)
+    # ------------------------------------------------------------------
+    def drain(self, now: int) -> None:
+        """Service every queued write whose processing completes by ``now``."""
+        fifo = self.write_fifo
+        while fifo:
+            ready, write = fifo.peek()
+            start = max(ready, self._service_free)
+            complete = start + self.config.logger_service_cycles
+            if complete > now:
+                break
+            fifo.pop()
+            self._service_free = complete
+            self._process(write, complete)
+
+    def flush(self) -> int:
+        """Service every queued write regardless of time.
+
+        Returns the cycle at which the pipeline finished — the "FIFOs
+        have drained" time used by the overload handler.
+        """
+        fifo = self.write_fifo
+        while fifo:
+            ready, write = fifo.pop()
+            start = max(ready, self._service_free)
+            self._service_free = start + self.config.logger_service_cycles
+            self._process(write, self._service_free)
+        return self._service_free
+
+    @property
+    def idle_at(self) -> int:
+        """Cycle at which the pipeline is next idle given queued work."""
+        free = self._service_free
+        for ready, _ in self.write_fifo:
+            free = max(free, ready) + self.config.logger_service_cycles
+        return free
+
+    def _handle_overload(self, now: int) -> None:
+        """FIFO crossed the threshold: interrupt and drain (section 3.1.3)."""
+        self.stats.overload_events += 1
+        drain_complete = self.flush()
+        if self._fault_handler is not None:
+            self._fault_handler.overload(max(now, drain_complete))
+        self.clock.advance_to(drain_complete)
+
+    def _process(self, write: BusWrite, complete_cycle: int) -> None:
+        """Run one write through PMT → log table → record FIFO → DMA."""
+        handler = self._fault_handler
+        log_index = self.pmt.lookup(write.paddr)
+        if log_index is None:
+            # Logging fault: missing page-mapping-table entry.
+            self.stats.logging_faults += 1
+            self.stats.pmt_fault_count += 1
+            if handler is None:
+                self.stats.records_dropped += 1
+                return
+            log_index, cycles = handler.pmt_miss(write.paddr)
+            self._service_free += cycles
+            if log_index is None:
+                self.stats.records_dropped += 1
+                return
+
+        mode = self._modes.get(log_index, LogMode.NORMAL)
+        if mode is LogMode.DIRECT_MAPPED:
+            self._process_direct(write, log_index, complete_cycle)
+            return
+
+        nbytes = LOG_RECORD_SIZE if mode is LogMode.NORMAL else INDEXED_ENTRY_SIZE
+        if not self.log_table.is_ready(log_index):
+            # Logging fault: log address crossed a page boundary.
+            self.stats.logging_faults += 1
+            self.stats.boundary_fault_count += 1
+            new_addr = None
+            if handler is not None:
+                new_addr, cycles = handler.log_boundary(log_index)
+                self._service_free += cycles
+            if new_addr is None:
+                # Absorb into the default page; records are lost until
+                # the kernel supplies a real page (section 3.2).
+                if self._default_page_paddr is None:
+                    self.stats.records_dropped += 1
+                    return
+                self._absorbing.add(log_index)
+                self.log_table.load(log_index, self._default_page_paddr)
+            else:
+                self._absorbing.discard(log_index)
+                self.log_table.load(log_index, new_addr)
+
+        lost = log_index in self._absorbing
+        dest = self.log_table.advance(log_index, nbytes)
+        if lost:
+            # Keep the default page reusable forever.
+            self.log_table.load(log_index, self._default_page_paddr)
+
+        if mode is LogMode.NORMAL:
+            payload = encode_record(
+                write.paddr,
+                write.value,
+                write.size,
+                self.clock.timestamp(complete_cycle),
+            )
+        else:  # INDEXED: bare 4-byte value, no address or timestamp.
+            payload = (write.value & 0xFFFFFFFF).to_bytes(4, "little")
+
+        self.bus.acquire(complete_cycle, self.config.log_dma_bus_cycles)
+        self.memory.write_bytes(dest, payload)
+        if lost:
+            self.stats.records_dropped += 1
+            if handler is not None:
+                handler.record_lost(log_index)
+        else:
+            self.stats.records_logged += 1
+            if handler is not None:
+                handler.record_written(log_index, dest, nbytes)
+
+    def _process_direct(
+        self, write: BusWrite, log_index: int, complete_cycle: int
+    ) -> None:
+        """Direct-mapped mode: mirror the value at the same page offset."""
+        handler = self._fault_handler
+        dest_base = self._direct_map.get(write.paddr // PAGE_SIZE)
+        if dest_base is None:
+            self.stats.records_dropped += 1
+            return
+        dest = dest_base + write.paddr % PAGE_SIZE
+        self.bus.acquire(complete_cycle, self.config.log_dma_bus_cycles)
+        self.memory.write(dest, write.value, write.size)
+        self.stats.records_logged += 1
+        if handler is not None:
+            handler.record_written(log_index, dest, write.size)

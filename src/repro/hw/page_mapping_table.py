@@ -1,0 +1,86 @@
+"""The logger's page mapping table (PMT).
+
+A direct-mapped, TLB-like structure mapping physical page addresses to
+log-table indices (section 3.1.1): "A physical page address is looked
+up in this table by splitting it into a tag (upper five bits) and index
+(lower 15 bits)."  A lookup can therefore miss either because the slot
+is empty or because another page with the same index has evicted the
+entry — both produce a logging fault that the kernel services by
+(re)loading the entry (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.params import PAGE_SIZE
+
+
+@dataclass
+class PmtEntry:
+    """One direct-mapped slot: tag plus the log-table index it maps to."""
+
+    tag: int
+    log_index: int
+
+
+class PageMappingTable:
+    """Direct-mapped physical-page → log-index table."""
+
+    def __init__(self, index_bits: int = 15, tag_bits: int = 5) -> None:
+        if index_bits < 1 or tag_bits < 1:
+            raise ConfigError("PMT geometry must have >=1 index and tag bits")
+        self.index_bits = index_bits
+        self.tag_bits = tag_bits
+        self._index_mask = (1 << index_bits) - 1
+        self._slots: dict[int, PmtEntry] = {}
+        self.lookup_count = 0
+        self.miss_count = 0
+        self.eviction_count = 0
+
+    def _split(self, paddr: int) -> tuple[int, int]:
+        ppn = paddr // PAGE_SIZE
+        return ppn >> self.index_bits, ppn & self._index_mask
+
+    def lookup(self, paddr: int) -> int | None:
+        """Return the log-table index for ``paddr``, or None on miss."""
+        self.lookup_count += 1
+        tag, index = self._split(paddr)
+        entry = self._slots.get(index)
+        if entry is None or entry.tag != tag:
+            self.miss_count += 1
+            return None
+        return entry.log_index
+
+    def load(self, paddr: int, log_index: int) -> PmtEntry | None:
+        """Load an entry for ``paddr``; returns any evicted entry.
+
+        The kernel "selects a table location, unloads the current
+        contents and then initializes the entry" (section 3.2) — in a
+        direct-mapped table the location is determined by the address.
+        """
+        tag, index = self._split(paddr)
+        evicted = self._slots.get(index)
+        if evicted is not None and (evicted.tag != tag or evicted.log_index != log_index):
+            self.eviction_count += 1
+        else:
+            evicted = None
+        self._slots[index] = PmtEntry(tag, log_index)
+        return evicted
+
+    def invalidate(self, paddr: int) -> None:
+        """Drop the entry for ``paddr`` if present (page unmapped)."""
+        tag, index = self._split(paddr)
+        entry = self._slots.get(index)
+        if entry is not None and entry.tag == tag:
+            del self._slots[index]
+
+    def invalidate_log(self, log_index: int) -> None:
+        """Drop every entry that maps to ``log_index`` (log destroyed)."""
+        stale = [i for i, e in self._slots.items() if e.log_index == log_index]
+        for i in stale:
+            del self._slots[i]
+
+    def __len__(self) -> int:
+        return len(self._slots)

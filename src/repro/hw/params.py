@@ -1,0 +1,258 @@
+"""Machine configuration and timing calibration.
+
+All timing constants used anywhere in the simulated machine live here,
+each one annotated with the sentence of the paper it is calibrated
+against.  The paper reports every result in *cycles* of a 25 MHz
+ParaDiGM multiprocessor (one cycle = 40 ns), so the reproduction's unit
+of time is the machine cycle.
+
+The defaults reproduce the paper's prototype (Table 2 and sections
+3.1/4.5).  Benchmarks that explore design alternatives (ablations) build
+modified configs from these defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: Page size of the prototype implementation (section 3.1: "the page
+#: size is four kilobytes").
+PAGE_SIZE = 4096
+
+#: Cache line size of the 68040's on-chip cache and of the log record
+#: granularity (section 4.1: "16-byte line size"; log records are
+#: 16 bytes, section 3.1).
+LINE_SIZE = 16
+
+#: Size of one log record in bytes (section 3.1: "a 16-byte log record").
+LOG_RECORD_SIZE = 16
+
+#: Lines per page — used by the deferred-copy dirty bitmaps.
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete parameterisation of the simulated ParaDiGM machine.
+
+    Instances are immutable; derive variants with :meth:`with_changes`.
+    """
+
+    # ------------------------------------------------------------------
+    # Structure sizes
+    # ------------------------------------------------------------------
+    #: Number of CPUs sharing the bus (section 4.1: "four 25-megahertz
+    #: 68040's sharing the system bus with the logger").
+    num_cpus: int = 4
+
+    #: Physical memory size in bytes.  Large enough for every experiment
+    #: in the paper (2 MB segments, multi-megabyte logs).
+    memory_bytes: int = 256 * 1024 * 1024
+
+    #: Clock rate in Hz; 25 MHz, one cycle = 40 ns (section 4.1).
+    clock_hz: int = 25_000_000
+
+    #: Timestamp counter rate (section 3.1: "a high-resolution timestamp
+    #: (6.25 MHz)"), i.e. one timestamp tick per 4 cycles.
+    timestamp_divider: int = 4
+
+    # ------------------------------------------------------------------
+    # Table 2: basic machine operation costs (cycles)
+    # ------------------------------------------------------------------
+    #: Word write-through: 6 cycles total, 5 on the bus (Table 2).
+    write_through_total_cycles: int = 6
+    write_through_bus_cycles: int = 5
+
+    #: Cache block write(back): 9 cycles total, 8 on the bus (Table 2).
+    block_write_total_cycles: int = 9
+    block_write_bus_cycles: int = 8
+
+    #: Log-record DMA: 18 cycles total, 8 on the bus (Table 2).
+    log_dma_total_cycles: int = 18
+    log_dma_bus_cycles: int = 8
+
+    # ------------------------------------------------------------------
+    # CPU memory-op costs outside Table 2 (model choices; see DESIGN.md)
+    # ------------------------------------------------------------------
+    #: First-level (on-chip) cache hit.
+    l1_hit_cycles: int = 1
+
+    #: Second-level cache hit (the section 4.5 tests "always hit in the
+    #: second-level cache but not generally in the first-level").
+    l2_hit_cycles: int = 4
+
+    #: Model L2 capacity misses.  Off by default: the paper sizes every
+    #: experiment into the 4 MB L2, so the calibrated results assume L2
+    #: hits.  Turning this on makes working sets beyond ``l2_bytes``
+    #: pay ``memory_access_cycles`` per L2 miss.
+    model_l2: bool = False
+    l2_bytes: int = 4 * 1024 * 1024
+    memory_access_cycles: int = 30
+
+    #: Ordinary word store that hits the L1 (one cycle on the 68040).
+    #: A store that misses the L1 pays ``l2_hit_cycles`` instead.  The
+    #: same store-pipeline cost applies to write-through stores, which
+    #: additionally go through the write buffer to the bus; a buffered
+    #: write-through store therefore costs the same as a cached store
+    #: until the buffer saturates, at which point it degenerates to the
+    #: ~6-cycle Table 2 figure.
+    cached_write_cycles: int = 1
+
+    #: Depth of the CPU write buffer.  The 68040 has a single-entry
+    #: write buffer; with depth 1 an isolated write-through store costs
+    #: 1 CPU cycle and back-to-back stores saturate at exactly the
+    #: 6-cycle Table 2 figure, while "the cost of the write-through
+    #: increases with the size of write burst" (section 4.5.2).
+    #: Section 4.6 notes larger buffers would shrink the gap — the
+    #: write-buffer ablation sweeps this.
+    write_buffer_depth: int = 1
+
+    # ------------------------------------------------------------------
+    # Logger (section 3.1)
+    # ------------------------------------------------------------------
+    #: Capacity of the logger's FIFOs ("The FIFOs hold 819 entries").
+    logger_fifo_capacity: int = 819
+
+    #: Overload threshold ("When the amount of data goes over a
+    #: threshold (512 entries), the logger is 'overloaded'").
+    logger_overload_threshold: int = 512
+
+    #: End-to-end service time of the logger pipeline per record
+    #: (PMT lookup + log-table update + 18-cycle DMA).  Calibrated so the
+    #: overload stability point is one logged write per 27 compute
+    #: cycles (section 4.5.3: "this overload is avoided as long as there
+    #: is no more than one logged write per 27 compute cycles"): an
+    #: iteration of c compute plus one buffered logged write issues one
+    #: record every c + 1 cycles, so a 28-cycle service time balances at
+    #: exactly c = 27.
+    logger_service_cycles: int = 28
+
+    #: Kernel overhead of taking the overload interrupt, suspending the
+    #: processes that may generate log data and resuming them (on top of
+    #: waiting for the FIFOs to drain).  Section 4.5.3 reports the total
+    #: overload penalty as "more than 30,000 cycles"; draining 512+
+    #: records takes ~14.3k cycles, the rest is this suspend/resume cost.
+    overload_suspend_cycles: int = 16_000
+
+    #: PMT geometry (section 3.1.1: tag = upper five bits, index = lower
+    #: 15 bits of the physical page number; direct mapped).
+    pmt_index_bits: int = 15
+    pmt_tag_bits: int = 5
+
+    #: Number of entries in the logger's log table (one per active log).
+    log_table_entries: int = 64
+
+    # ------------------------------------------------------------------
+    # Kernel / VM software costs
+    # ------------------------------------------------------------------
+    #: Ordinary page fault: allocate a frame, map it, resume (model
+    #: choice; typical mid-90s microkernel page-fault path).
+    page_fault_cycles: int = 1_200
+
+    #: Extra work on a page fault for a *logged* page: put the on-chip
+    #: cache in write-through mode for the page and load the logger's
+    #: page-mapping-table / log-table entries (section 3.2).
+    logged_page_fault_extra_cycles: int = 300
+
+    #: Kernel service time of a logging fault (PMT miss or log address
+    #: crossing a page boundary, section 3.2).
+    logging_fault_cycles: int = 800
+
+    #: Process context switch: register/address-space switch plus
+    #: unloading and reloading the logger's per-process log state
+    #: (section 3.1.2: "A context switch could then unload logs from
+    #: the logger tables as necessary to implement per-region logs").
+    context_switch_cycles: int = 1_500
+
+    #: A write-protection trap handled in software, including completing
+    #: the write and logging the data — the paper's estimate of what a
+    #: page-protect implementation of per-write logging would cost
+    #: (section 5.1: "would take over 3,000 cycles on current
+    #: processors, even if implemented at a low level").
+    protection_trap_cycles: int = 3_000
+
+    #: bcopy cost model: per-call overhead plus per-16-byte-block cost
+    #: (a block write is 9 cycles, Table 2; reading the source line from
+    #: the L2 adds ``l2_hit_cycles``).
+    bcopy_call_overhead_cycles: int = 120
+    bcopy_per_block_cycles: int = 13  # 9 write + 4 read
+
+    # ------------------------------------------------------------------
+    # Deferred copy (sections 2.3, 3.3, 4.4)
+    # ------------------------------------------------------------------
+    #: resetDeferredCopy: fixed entry cost.
+    reset_dc_call_overhead_cycles: int = 200
+
+    #: Scan cost per page to check the per-page dirty bit (section 3.3:
+    #: "our implementation checks the per-page dirty bit ... rather than
+    #: inspecting the tags of every cache line").
+    reset_dc_per_page_scan_cycles: int = 2
+
+    #: Per *dirty line* cost: invalidate the modified cache line and
+    #: reset its source address.  Calibrated so the crossover with bcopy
+    #: falls at roughly two-thirds of the segment dirty (section 4.4:
+    #: "resetDeferredCopy() performs better than a raw copy if less than
+    #: about two-thirds of the segment is dirty").
+    reset_dc_per_dirty_line_cycles: int = 20
+
+    #: Per dirty *page* bookkeeping during reset (clear dirty bit,
+    #: restore the page's source mapping).
+    reset_dc_per_dirty_page_cycles: int = 60
+
+    # ------------------------------------------------------------------
+    # On-chip logger (section 4.6 next-generation hardware)
+    # ------------------------------------------------------------------
+    #: Whether the machine uses the next-generation on-chip logger
+    #: instead of the prototype bus-snooping logger.  The on-chip logger
+    #: logs virtual addresses, supports per-region logs, and never
+    #: overloads (the processor stalls naturally, like write-through).
+    on_chip_logger: bool = False
+
+    #: With on-chip support "the cost of logged writes should be
+    #: essentially the same as unlogged writes (except for the bus
+    #: overhead of the log records)" — the extra CPU-visible cost per
+    #: logged write beyond a cached write.
+    on_chip_logged_write_extra_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.memory_bytes % PAGE_SIZE:
+            raise ConfigError("memory_bytes must be page aligned")
+        if self.logger_overload_threshold > self.logger_fifo_capacity:
+            raise ConfigError("overload threshold exceeds FIFO capacity")
+        if self.num_cpus < 1:
+            raise ConfigError("need at least one CPU")
+        if self.write_buffer_depth < 1:
+            raise ConfigError("write buffer depth must be >= 1")
+        if self.timestamp_divider < 1:
+            raise ConfigError("timestamp divider must be >= 1")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of physical page frames."""
+        return self.memory_bytes // PAGE_SIZE
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one cycle in nanoseconds (40 ns at 25 MHz)."""
+        return 1e9 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert a cycle count to wall-clock seconds on this machine."""
+        return cycles / self.clock_hz
+
+    def with_changes(self, **kwargs) -> "MachineConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's prototype configuration.
+PROTOTYPE = MachineConfig()
+
+#: The section 4.6 "next-generation" configuration: logging inside the
+#: CPU's VM unit (virtual addresses, per-region logs, no overload).
+NEXT_GENERATION = MachineConfig(on_chip_logger=True)

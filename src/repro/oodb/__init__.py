@@ -1,0 +1,26 @@
+"""Memory-mapped object-oriented database on LVM (section 1).
+
+Persistent, transactional objects living in a recoverable logged
+region: field access is ordinary memory access, the hardware log is the
+redo log, and checkpointing applies it to the durable image.
+"""
+
+from repro.oodb.schema import Field, ObjectType, SchemaError
+from repro.oodb.store import (
+    Handle,
+    MAX_TYPES,
+    NULL_OID,
+    ObjectStore,
+    StoreError,
+)
+
+__all__ = [
+    "Field",
+    "ObjectType",
+    "SchemaError",
+    "Handle",
+    "MAX_TYPES",
+    "NULL_OID",
+    "ObjectStore",
+    "StoreError",
+]

@@ -1,0 +1,79 @@
+"""Object schemas for the memory-mapped object database.
+
+Objects are fixed-layout records of word-sized fields, like the C++
+objects the paper has in mind (section 1: "persistent objects
+supporting atomic transactions can be read and written in virtual
+memory with the same efficiency as standard C++ objects").  A schema
+computes each field's offset; instances are read and written directly
+in recoverable virtual memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LVMError
+from repro.hw.params import LINE_SIZE
+
+
+class SchemaError(LVMError):
+    """Invalid schema definition or field access."""
+
+
+_FIELD_SIZES = {"u8": 1, "u16": 2, "u32": 4, "i32": 4, "oid": 4}
+
+#: Every object starts with two hidden header words: its type id and
+#: the intrusive "next object of this type" link used for iteration.
+HEADER_WORDS = 2
+TYPE_TAG_OFFSET = 0
+NEXT_LINK_OFFSET = 4
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of an object type."""
+
+    name: str
+    kind: str
+    offset: int
+
+    @property
+    def size(self) -> int:
+        return _FIELD_SIZES[self.kind]
+
+
+class ObjectType:
+    """A fixed-layout persistent object type."""
+
+    def __init__(self, name: str, fields: list[tuple[str, str]]) -> None:
+        if not name:
+            raise SchemaError("object type needs a name")
+        self.name = name
+        self.fields: dict[str, Field] = {}
+        offset = 4 * HEADER_WORDS
+        for fname, kind in fields:
+            if kind not in _FIELD_SIZES:
+                raise SchemaError(
+                    f"unknown field kind {kind!r} "
+                    f"(known: {sorted(_FIELD_SIZES)})"
+                )
+            if fname in self.fields:
+                raise SchemaError(f"duplicate field {fname!r}")
+            size = _FIELD_SIZES[kind]
+            offset = -(-offset // size) * size  # align to field size
+            self.fields[fname] = Field(fname, kind, offset)
+            offset += size
+        #: object footprint, padded to a cache line so deferred-copy
+        #: lines and log locality stay per-object
+        self.size = -(-offset // LINE_SIZE) * LINE_SIZE
+        #: assigned by the store at registration
+        self.type_id: int | None = None
+
+    def field(self, name: str) -> Field:
+        f = self.fields.get(name)
+        if f is None:
+            raise SchemaError(f"{self.name} has no field {name!r}")
+        return f
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjectType({self.name}, {len(self.fields)} fields, {self.size}B)"

@@ -1,0 +1,11 @@
+"""High-performance output via logging (section 2.6).
+
+Direct-mapped logged regions drive mapped-I/O devices, and separate
+processes visualise application state from the log without slowing the
+application down.
+"""
+
+from repro.output.device import MappedOutputDevice
+from repro.output.visualizer import Frame, StateVisualizer
+
+__all__ = ["MappedOutputDevice", "Frame", "StateVisualizer"]

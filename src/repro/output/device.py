@@ -1,0 +1,79 @@
+"""Mapped-I/O output via direct-mapped logging (section 2.6).
+
+"In direct-mapped mode, the logged updates to a segment are written to
+the corresponding offset in the log segment.  This mode allows an
+output device to be written using mapped I/O without having to support
+storage and read-back to handle the case of a cache line being loaded
+corresponding to this area of memory.  Here, cache reload is handled by
+normal memory and updates are written to a log segment corresponding to
+the device address range."
+
+:class:`MappedOutputDevice` is such a device: the application maps an
+ordinary memory region (so reads work like memory), and the hardware
+mirrors every write into the device's log segment, which *is* the
+device memory — here a character display whose contents can be rendered
+at any time without touching the application.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LVMError
+from repro.core.log_segment import LogSegment
+from repro.core.process import Process
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.logger import LogMode
+
+
+class MappedOutputDevice:
+    """A character display driven through a direct-mapped logged region."""
+
+    def __init__(self, proc: Process, width: int = 64, height: int = 16) -> None:
+        if width < 1 or height < 1:
+            raise LVMError("display must have positive dimensions")
+        self.proc = proc
+        self.machine = proc.machine
+        self.width = width
+        self.height = height
+        nbytes = width * height
+        #: the region the application writes (ordinary memory: readable)
+        self.backing = StdSegment(nbytes, machine=self.machine)
+        self.region = StdRegion(self.backing)
+        #: the device memory: the direct-mapped log segment
+        self.device_memory = LogSegment(
+            size=self.backing.size, machine=self.machine
+        )
+        self.region.log(self.device_memory, mode=LogMode.DIRECT_MAPPED)
+        self.base_va = self.region.bind(proc.address_space())
+
+    # ------------------------------------------------------------------
+    # Application side: mapped I/O
+    # ------------------------------------------------------------------
+    def addr(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise LVMError(f"pixel ({x}, {y}) outside the display")
+        return self.base_va + y * self.width + x
+
+    def put(self, x: int, y: int, char: str) -> None:
+        """Write one character cell (a single mapped-I/O store)."""
+        self.proc.write(self.addr(x, y), ord(char) & 0xFF, 1)
+
+    def text(self, x: int, y: int, s: str) -> None:
+        for i, ch in enumerate(s):
+            self.put(x + i, y, ch)
+
+    def readback(self, x: int, y: int) -> str:
+        """Read a cell back — served by normal memory, not the device."""
+        return chr(self.proc.read(self.addr(x, y), 1))
+
+    # ------------------------------------------------------------------
+    # Device side
+    # ------------------------------------------------------------------
+    def refresh(self) -> list[str]:
+        """Render the device memory (what the 'screen' shows)."""
+        self.machine.sync(self.proc.cpu)
+        rows = []
+        for y in range(self.height):
+            raw = self.device_memory.read_bytes(y * self.width, self.width)
+            rows.append("".join(chr(b) if 32 <= b < 127 else " " for b in raw))
+        return rows

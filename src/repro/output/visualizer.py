@@ -1,0 +1,112 @@
+"""Asynchronous state visualisation from the write log (section 2.6).
+
+"A program supporting visualization can set the segment containing its
+state to be logged.  A separate process can then interpret this log and
+display the visual representation of the program.  This approach
+effectively offloads the application process of this activity...  the
+output process executes asynchronously with respect to the application
+process and only synchronizes on the end of the log."
+
+:class:`StateVisualizer` is that separate process: it follows the
+application's log (never touching the application), maintains its own
+replica of the watched state words, and renders frames on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LVMError
+from repro.core.log_reader import LogFollower, RegionLogView
+from repro.core.process import Process
+from repro.core.region import Region
+
+#: Consumer-side cost per record interpreted (charged to the *output*
+#: process's CPU, not the application's — the offloading the paper
+#: describes).
+INTERPRET_CYCLES = 15
+
+
+@dataclass
+class Frame:
+    """One rendered visualisation frame."""
+
+    sequence: int
+    updates_consumed: int
+    lines: list[str]
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return "\n".join(self.lines)
+
+
+class StateVisualizer:
+    """Render an application's state from its write log."""
+
+    def __init__(
+        self,
+        output_proc: Process,
+        region: Region,
+        watch: list[tuple[str, int]],
+        bar_scale: int = 1,
+        bar_width: int = 40,
+    ) -> None:
+        """``watch`` maps display labels to region offsets (u32 cells)."""
+        if region.log_segment is None:
+            raise LVMError("the application region must be logged")
+        if output_proc.machine is not region.machine:
+            raise LVMError("output process must be on the same machine")
+        self.proc = output_proc
+        self.region = region
+        self.watch = watch
+        self.bar_scale = max(bar_scale, 1)
+        self.bar_width = bar_width
+        self._view = RegionLogView(region)
+        self._follower = LogFollower(self._view)
+        #: the visualizer's replica of the watched cells
+        self._replica: dict[int, int] = {offset: 0 for _, offset in watch}
+        self._sequence = 0
+        self.updates_total = 0
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Consume newly appended records; returns how many."""
+        records = self._follower.poll()
+        for record in records:
+            offset = self._view.offset_of(record)
+            if offset in self._replica:
+                self._replica[offset] = record.value
+            self.proc.compute(INTERPRET_CYCLES)
+        self.updates_total += len(records)
+        return len(records)
+
+    def synchronize(self) -> int:
+        """Sync on the end of the log (the only coupling point)."""
+        self.region.machine.sync(self.proc.cpu)
+        return self.poll()
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._follower.backlog_bytes
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> Frame:
+        """Render the current replica as a bar chart frame."""
+        consumed = self.poll()
+        self._sequence += 1
+        lines = []
+        for label, offset in self.watch:
+            value = self._replica[offset]
+            bar = "#" * min(self.bar_width, value // self.bar_scale)
+            lines.append(f"{label:>12} |{bar:<{self.bar_width}}| {value}")
+        return Frame(self._sequence, consumed, lines)
+
+    def value(self, label: str) -> int:
+        """Current replica value for a watched label."""
+        for name, offset in self.watch:
+            if name == label:
+                return self._replica[offset]
+        raise LVMError(f"not watching {label!r}")

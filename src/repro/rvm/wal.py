@@ -1,0 +1,169 @@
+"""Write-ahead log on the RAM disk.
+
+Shared by RVM and RLVM: transactions append BEGIN / WRITE / COMMIT /
+ABORT entries; recovery scans the log and replays the writes of
+committed transactions onto the durable segment images; truncation
+applies the committed tail and resets the log.
+
+Entry framing (little endian)::
+
+    u32 length   (of the payload that follows, excluding this header)
+    u8  kind     (1=BEGIN, 2=WRITE, 3=COMMIT, 4=ABORT)
+    ... kind-specific payload ...
+
+WRITE payload: u32 tid, u16 seg_id, u32 offset, u16 nbytes, data bytes.
+BEGIN/COMMIT/ABORT payload: u32 tid.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RecoveryError
+from repro.hw.cpu import CPU
+from repro.rvm.ramdisk import RamDisk
+
+_HEADER = struct.Struct("<IB")
+_TID = struct.Struct("<I")
+_WRITE_HEAD = struct.Struct("<IHIH")
+
+
+class EntryKind(enum.IntEnum):
+    BEGIN = 1
+    WRITE = 2
+    COMMIT = 3
+    ABORT = 4
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One decoded log entry."""
+
+    kind: EntryKind
+    tid: int
+    seg_id: int = 0
+    offset: int = 0
+    data: bytes = b""
+
+
+class WriteAheadLog:
+    """Append-only transaction log on a :class:`RamDisk`."""
+
+    def __init__(self, disk: RamDisk, base: int = 0, capacity: int | None = None):
+        self.disk = disk
+        self.base = base
+        self.capacity = capacity if capacity is not None else disk.size - base
+        self.tail = 0
+        self.appends = 0
+
+    # ------------------------------------------------------------------
+    # Appending (timed)
+    # ------------------------------------------------------------------
+    def _append(self, cpu: CPU, kind: EntryKind, payload: bytes) -> None:
+        frame = _HEADER.pack(len(payload), kind) + payload
+        if self.tail + len(frame) > self.capacity:
+            raise RecoveryError("write-ahead log is full; truncate first")
+        self.disk.write(cpu, self.base + self.tail, frame)
+        self.tail += len(frame)
+        self.appends += 1
+
+    def append_begin(self, cpu: CPU, tid: int) -> None:
+        self._append(cpu, EntryKind.BEGIN, _TID.pack(tid))
+
+    def append_commit(self, cpu: CPU, tid: int) -> None:
+        self._append(cpu, EntryKind.COMMIT, _TID.pack(tid))
+
+    def append_abort(self, cpu: CPU, tid: int) -> None:
+        self._append(cpu, EntryKind.ABORT, _TID.pack(tid))
+
+    def append_write(
+        self, cpu: CPU, tid: int, seg_id: int, offset: int, data: bytes
+    ) -> None:
+        payload = _WRITE_HEAD.pack(tid, seg_id, offset, len(data)) + data
+        self._append(cpu, EntryKind.WRITE, payload)
+
+    def append_writes(
+        self, cpu: CPU, tid: int, writes: list[tuple[int, int, bytes]]
+    ) -> None:
+        """Append several WRITE entries as one disk operation (group I/O)."""
+        frames = bytearray()
+        for seg_id, offset, data in writes:
+            payload = _WRITE_HEAD.pack(tid, seg_id, offset, len(data)) + data
+            frames += _HEADER.pack(len(payload), EntryKind.WRITE) + payload
+        if self.tail + len(frames) > self.capacity:
+            raise RecoveryError("write-ahead log is full; truncate first")
+        self.disk.write(cpu, self.base + self.tail, bytes(frames))
+        self.tail += len(frames)
+        self.appends += 1
+
+    def append_transactions(
+        self, cpu: CPU, txns: list[tuple[int, list[tuple[int, int, bytes]]]]
+    ) -> None:
+        """Append several whole transactions in ONE disk operation.
+
+        Used by no-flush commit batching: each ``(tid, writes)`` becomes
+        its WRITE entries followed by a COMMIT entry, all in a single
+        group I/O — the amortisation that makes lazy commit cheap.
+        """
+        frames = bytearray()
+        for tid, writes in txns:
+            for seg_id, offset, data in writes:
+                payload = _WRITE_HEAD.pack(tid, seg_id, offset, len(data)) + data
+                frames += _HEADER.pack(len(payload), EntryKind.WRITE) + payload
+            payload = _TID.pack(tid)
+            frames += _HEADER.pack(len(payload), EntryKind.COMMIT) + payload
+        if not frames:
+            return
+        if self.tail + len(frames) > self.capacity:
+            raise RecoveryError("write-ahead log is full; truncate first")
+        self.disk.write(cpu, self.base + self.tail, bytes(frames))
+        self.tail += len(frames)
+        self.appends += 1
+
+    def reset(self) -> None:
+        """Discard all entries (after truncation has applied them)."""
+        self.tail = 0
+
+    # ------------------------------------------------------------------
+    # Scanning (untimed: used at recovery and by truncation logic)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[WalEntry]:
+        """Decode entries in append order."""
+        pos = 0
+        while pos < self.tail:
+            if pos + _HEADER.size > self.tail:
+                raise RecoveryError("truncated entry header in WAL")
+            length, kind = _HEADER.unpack_from(
+                self.disk.peek(self.base + pos, _HEADER.size)
+            )
+            pos += _HEADER.size
+            if pos + length > self.tail:
+                raise RecoveryError("truncated entry payload in WAL")
+            payload = self.disk.peek(self.base + pos, length)
+            pos += length
+            yield self._decode(EntryKind(kind), payload)
+
+    @staticmethod
+    def _decode(kind: EntryKind, payload: bytes) -> WalEntry:
+        if kind is EntryKind.WRITE:
+            tid, seg_id, offset, nbytes = _WRITE_HEAD.unpack_from(payload)
+            data = payload[_WRITE_HEAD.size : _WRITE_HEAD.size + nbytes]
+            if len(data) != nbytes:
+                raise RecoveryError("WRITE entry data length mismatch")
+            return WalEntry(kind, tid, seg_id, offset, data)
+        (tid,) = _TID.unpack_from(payload)
+        return WalEntry(kind, tid)
+
+    def committed_tids(self) -> set[int]:
+        """Transaction ids with a COMMIT entry in the log."""
+        return {e.tid for e in self.entries() if e.kind is EntryKind.COMMIT}
+
+    def committed_writes(self) -> Iterator[WalEntry]:
+        """WRITE entries of committed transactions, in log order."""
+        committed = self.committed_tids()
+        for entry in self.entries():
+            if entry.kind is EntryKind.WRITE and entry.tid in committed:
+                yield entry

@@ -1,0 +1,68 @@
+"""Optimistic parallel simulation (Time Warp) on logged virtual memory.
+
+The demanding application of section 2.4: schedulers run ahead
+optimistically, state saving is either copy-based (the conventional
+baseline) or LVM-based (logged working region + deferred-copy
+checkpoint), and rollback uses ``resetDeferredCopy`` plus roll-forward
+from the log.  Figures 7 and 8 are regenerated from
+:class:`~repro.timewarp.workloads.SyntheticModel` runs under both state
+savers.
+"""
+
+from repro.timewarp.cult import ALWAYS, CultPolicy
+from repro.timewarp.event import Event, EventKey, Message
+from repro.timewarp.queueing import (
+    QueueingNetworkModel,
+    network_invariants,
+    station_stats,
+)
+from repro.timewarp.kernel import (
+    TimeWarpResult,
+    TimeWarpSimulation,
+    make_saver,
+)
+from repro.timewarp.scheduler import DISPATCH_CYCLES, ProcessedEvent, Scheduler
+from repro.timewarp.sequential import SequentialResult, SequentialSimulation
+from repro.timewarp.statistics import RunReport, SchedulerReport, collect_report
+from repro.timewarp.state_saving import (
+    CopyStateSaver,
+    LVMStateSaver,
+    StateSaver,
+)
+from repro.timewarp.workloads import (
+    PholdModel,
+    SimulationModel,
+    SyntheticModel,
+    event_hash,
+    padded_object_size,
+)
+
+__all__ = [
+    "ALWAYS",
+    "CultPolicy",
+    "Event",
+    "EventKey",
+    "Message",
+    "QueueingNetworkModel",
+    "network_invariants",
+    "station_stats",
+    "TimeWarpResult",
+    "TimeWarpSimulation",
+    "make_saver",
+    "DISPATCH_CYCLES",
+    "ProcessedEvent",
+    "Scheduler",
+    "SequentialResult",
+    "SequentialSimulation",
+    "RunReport",
+    "SchedulerReport",
+    "collect_report",
+    "CopyStateSaver",
+    "LVMStateSaver",
+    "StateSaver",
+    "PholdModel",
+    "SimulationModel",
+    "SyntheticModel",
+    "event_hash",
+    "padded_object_size",
+]

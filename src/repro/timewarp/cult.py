@@ -1,0 +1,40 @@
+"""CULT policy: when to run checkpoint update and log truncation.
+
+Section 2.4: "This checkpoint update and log truncation (CULT)
+processing is normally undertaken when a scheduler determines that
+global virtual time has advanced to time T.  However, if the scheduler
+thinks it might be the bottleneck process (if LVT is not far ahead of
+GVT), then it may defer CULT until it catches up with the other
+processors or actually runs out of memory for the log."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CultPolicy:
+    """Decides whether a scheduler should run CULT now.
+
+    CULT runs when the scheduler is comfortably ahead of GVT (it is not
+    the bottleneck, so spending cycles on CULT is free in terms of
+    simulation progress) or when the log has grown past the memory
+    budget and must be truncated regardless.
+    """
+
+    #: Run CULT only when LVT - GVT >= this margin (virtual time units).
+    lead_margin: int = 4
+
+    #: Always run CULT once the log holds this many bytes.
+    log_budget_bytes: int = 1 << 20
+
+    def should_run(self, lvt: int, gvt: int, log_bytes: int) -> bool:
+        """True when CULT should run for a scheduler in this state."""
+        if log_bytes >= self.log_budget_bytes:
+            return True  # out of memory for the log: no choice
+        return lvt - gvt >= self.lead_margin
+
+
+#: Policy that always runs CULT at every GVT advance.
+ALWAYS = CultPolicy(lead_margin=0, log_budget_bytes=0)

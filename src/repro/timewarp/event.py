@@ -1,0 +1,58 @@
+"""Events and messages for the Time Warp kernel (section 2.4).
+
+An :class:`Event` is scheduled work at a virtual time for a simulation
+object.  A :class:`Message` wraps an event in transit between
+schedulers, with the positive/negative sign used for antimessage
+annihilation when a rollback cancels a send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class EventKey:
+    """Total order on events: (virtual time, tie-break id).
+
+    The tie-break makes optimistic and sequential execution process
+    same-time events in the same order, which the determinism property
+    tests rely on.
+    """
+
+    recv_time: int
+    uid: int
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A simulation event."""
+
+    recv_time: int
+    dest_obj: int
+    payload: int
+    #: globally unique id: (sender scheduler, send sequence number)
+    uid: int
+    send_time: int = 0
+    sender: int = -1
+
+    @property
+    def key(self) -> EventKey:
+        return EventKey(self.recv_time, self.uid)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An event (or its antimessage) in transit."""
+
+    event: Event
+    #: +1 for a normal message, -1 for an antimessage
+    sign: int = 1
+
+    def annihilates(self, other: "Message") -> bool:
+        """True when self and other cancel (same event, opposite sign)."""
+        return self.event.uid == other.event.uid and self.sign == -other.sign
+
+    def negative(self) -> "Message":
+        """The antimessage for this message."""
+        return Message(self.event, sign=-self.sign)

@@ -1,0 +1,268 @@
+"""State saving strategies for Time Warp (sections 2.4 and 4.3).
+
+Two implementations behind one interface:
+
+* :class:`CopyStateSaver` — "the conventional rollback implementation
+  which makes a copy of the affected object state before processing
+  each event".  Rollback restores the copies.
+* :class:`LVMStateSaver` — the paper's contribution: the working
+  region is *logged*, the checkpoint segment is its deferred-copy
+  source (Figure 3).  Nothing is copied per event; rollback is
+  ``resetDeferredCopy`` plus roll-forward from the log, and checkpoint
+  advance is CULT (checkpoint update and log truncation).
+
+The scheduler writes its local virtual time to a marker word "each time
+local virtual time changes.  Log records of these writes serve as
+markers so that the rollback algorithm can tell which log records
+correspond to what virtual time" (footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RollbackError
+from repro.core.log_reader import RegionLogView
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.baselines.bcopy import bcopy_cost_cycles
+from repro.timewarp.workloads import padded_object_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.timewarp.scheduler import Scheduler
+
+#: Reserved bytes at the start of the working segment for the virtual
+#: time marker word (one full cache line).
+MARKER_BYTES = 16
+
+#: Bookkeeping per copy-based state save (allocate + queue the copy).
+SAVE_BOOKKEEPING_CYCLES = 50
+
+#: Applying one log record during roll-forward or CULT.
+APPLY_RECORD_CYCLES = 12
+
+
+class StateSaver:
+    """Common layout and interface of the two strategies."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.scheduler: "Scheduler | None" = None
+        self.working: StdSegment | None = None
+        self.region: StdRegion | None = None
+        self.base_va = 0
+        self.n_local = 0
+        self.slot_size = 0
+        self.rollback_count = 0
+        self.state_bytes_saved = 0
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def attach(self, scheduler: "Scheduler") -> None:
+        """Create this scheduler's segments and bind the working region."""
+        self.scheduler = scheduler
+        self.n_local = len(scheduler.local_objects)
+        self.slot_size = padded_object_size(scheduler.model.object_size)
+        size = MARKER_BYTES + max(self.n_local, 1) * self.slot_size
+        self.working = StdSegment(size, machine=scheduler.machine)
+        self.region = StdRegion(self.working)
+        self._setup_region()
+        self.base_va = self.region.bind(scheduler.proc.address_space())
+        self._after_bind()
+
+    def _setup_region(self) -> None:
+        """Strategy hook run before binding (LVM attaches the log here)."""
+
+    def _after_bind(self) -> None:
+        """Strategy hook run after binding."""
+
+    def object_offset(self, local_index: int) -> int:
+        return MARKER_BYTES + local_index * self.slot_size
+
+    def object_va(self, local_index: int) -> int:
+        """Virtual address of a local object's state slot."""
+        return self.base_va + self.object_offset(local_index)
+
+    def object_bytes(self, local_index: int) -> bytes:
+        """Current state of a local object (functional read)."""
+        return self.working.read_bytes(self.object_offset(local_index), self.slot_size)
+
+    # ------------------------------------------------------------------
+    # Strategy interface
+    # ------------------------------------------------------------------
+    def on_lvt_change(self, vt: int) -> None:
+        """Local virtual time advanced to ``vt``."""
+
+    def before_event(self, vt: int, local_index: int) -> None:
+        """About to process an event at ``vt`` for a local object."""
+
+    def rollback(self, vt: int) -> None:
+        """Restore state to just before any event at time >= ``vt``."""
+        raise NotImplementedError
+
+    def advance_checkpoint(self, gvt: int) -> None:
+        """Fossil-collect state-saving storage below ``gvt``."""
+
+
+class CopyStateSaver(StateSaver):
+    """Copy-based checkpointing: save the object before every event."""
+
+    name = "copy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (virtual time, local object index, saved bytes), append order
+        self._saved: list[tuple[int, int, bytes]] = []
+
+    def before_event(self, vt: int, local_index: int) -> None:
+        offset = self.object_offset(local_index)
+        data = self.working.read_bytes(offset, self.slot_size)
+        self._saved.append((vt, local_index, data))
+        self.state_bytes_saved += self.slot_size
+        proc = self.scheduler.proc
+        proc.compute(
+            bcopy_cost_cycles(proc.machine.config, self.slot_size)
+            + SAVE_BOOKKEEPING_CYCLES
+        )
+
+    def rollback(self, vt: int) -> None:
+        self.rollback_count += 1
+        proc = self.scheduler.proc
+        while self._saved and self._saved[-1][0] >= vt:
+            _, local_index, data = self._saved.pop()
+            self.working.write_bytes(self.object_offset(local_index), data)
+            proc.compute(bcopy_cost_cycles(proc.machine.config, self.slot_size))
+
+    def advance_checkpoint(self, gvt: int) -> None:
+        self._saved = [entry for entry in self._saved if entry[0] >= gvt]
+
+
+class LVMStateSaver(StateSaver):
+    """Logged-virtual-memory state saving (Figure 3 of the paper)."""
+
+    name = "lvm"
+
+    def __init__(
+        self,
+        log_capacity: int = 16 * 1024 * 1024,
+        cult_policy=None,
+        charge_cult: bool = False,
+    ):
+        super().__init__()
+        self.log_capacity = log_capacity
+        #: optional :class:`repro.timewarp.cult.CultPolicy` controlling
+        #: deferral of checkpoint advance (section 2.4)
+        self.cult_policy = cult_policy
+        #: charge CULT processing to the scheduler's CPU (False models
+        #: the paper's "separate parallel process" running CULT)
+        self.charge_cult = charge_cult
+        self.checkpoint: StdSegment | None = None
+        self.log: LogSegment | None = None
+        #: virtual time the checkpoint segment corresponds to
+        self.checkpoint_time = 0
+        self._last_marker = None
+        self._view: RegionLogView | None = None
+
+    def _setup_region(self) -> None:
+        machine = self.scheduler.machine
+        self.checkpoint = StdSegment(self.working.size, machine=machine)
+        self.working.source_segment(self.checkpoint)
+        self.log = LogSegment(size=self.log_capacity, machine=machine)
+        self.region.log(self.log)
+        self._view = RegionLogView(self.region, self.log)
+
+    def on_lvt_change(self, vt: int) -> None:
+        """Write the virtual-time marker (a single logged write)."""
+        if vt != self._last_marker:
+            self.scheduler.proc.write(self.base_va, vt)
+            self._last_marker = vt
+
+    # ------------------------------------------------------------------
+    # Rollback: resetDeferredCopy + roll-forward (section 2.4)
+    # ------------------------------------------------------------------
+    def rollback(self, vt: int) -> None:
+        if vt < self.checkpoint_time:
+            raise RollbackError(
+                f"cannot roll back to {vt}: checkpoint is at "
+                f"{self.checkpoint_time} (rollback before GVT is never "
+                "needed, section 2.4)"
+            )
+        self.rollback_count += 1
+        scheduler = self.scheduler
+        proc = scheduler.proc
+        machine = scheduler.machine
+        machine.sync(proc.cpu)  # wait for in-flight log records to land
+
+        # 1. Reset the working segment to the checkpoint.
+        proc.address_space().reset_deferred_copy(
+            self.base_va, self.base_va + self.working.size, cpu=proc.cpu
+        )
+
+        # 2. Roll forward: apply logged updates older than vt.
+        cut_offset = self.log.append_offset
+        for offset, record in self.log.records_with_offsets():
+            seg_offset = self._to_offset(record)
+            if seg_offset < MARKER_BYTES:
+                if record.value >= vt:
+                    cut_offset = offset
+                    break
+                continue
+            self.working.write(seg_offset, record.value, record.size)
+            proc.compute(APPLY_RECORD_CYCLES)
+
+        # 3. Discard the undone suffix of the log.
+        self.log.rewind(cut_offset)
+        self._last_marker = None
+
+    # ------------------------------------------------------------------
+    # CULT: checkpoint update and log truncation (section 2.4)
+    # ------------------------------------------------------------------
+    def advance_checkpoint(self, gvt: int, charge: bool | None = None) -> None:
+        """Apply logged updates older than ``gvt`` to the checkpoint.
+
+        "To advance the checkpoint segment to the state of the
+        scheduler's objects as of time T, the scheduler applies all
+        logged updates older than T to the checkpoint segment.  It may
+        optionally truncate the log segment at this time."
+
+        ``charge=False`` models CULT running on a separate parallel
+        process ("the CULT processing can also be performed by a
+        separate parallel process to avoid slowing down the simulation
+        itself"); pass True to charge it to this scheduler's CPU.
+        """
+        if charge is None:
+            charge = self.charge_cult
+        if gvt <= self.checkpoint_time:
+            return
+        if self.cult_policy is not None:
+            log_bytes = self.log.append_offset - self.log.start_offset
+            if not self.cult_policy.should_run(self.scheduler.lvt, gvt, log_bytes):
+                return  # defer CULT: this scheduler may be the bottleneck
+        proc = self.scheduler.proc
+        self.scheduler.machine.sync(proc.cpu)
+        cut = None
+        for offset, record in self.log.records_with_offsets():
+            seg_offset = self._to_offset(record)
+            if seg_offset < MARKER_BYTES:
+                if record.value >= gvt:
+                    cut = offset
+                    break
+                continue
+            self.checkpoint.write(seg_offset, record.value, record.size)
+            if charge:
+                proc.compute(APPLY_RECORD_CYCLES)
+        if cut is None:
+            self.log.truncate()
+        else:
+            self.log.truncate(cut)
+        self.checkpoint_time = gvt
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _to_offset(self, record) -> int:
+        """Translate a log record to a working-segment offset."""
+        return self._view.offset_of(record)

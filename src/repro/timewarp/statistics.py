@@ -1,0 +1,111 @@
+"""Run statistics for optimistic simulations.
+
+The paper argues qualitatively about which processes rollback costs
+land on (section 2.4: a process far ahead of GVT can afford expensive
+rollbacks).  This module quantifies a run: per-scheduler efficiency,
+rollback depth distribution, state-saving footprint, and the critical
+path — the data one needs to decide between state savers or tune CULT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timewarp.kernel import TimeWarpSimulation
+
+
+@dataclass
+class SchedulerReport:
+    """Per-scheduler run statistics."""
+
+    index: int
+    events_processed: int
+    events_rolled_back: int
+    rollbacks: int
+    cpu_cycles: int
+    suspend_cycles: int
+    state_bytes_saved: int
+
+    @property
+    def efficiency(self) -> float:
+        """Committed events / processed events (1.0 = no wasted work)."""
+        if self.events_processed == 0:
+            return 1.0
+        return 1 - self.events_rolled_back / self.events_processed
+
+    @property
+    def mean_rollback_depth(self) -> float:
+        """Average events undone per rollback."""
+        if self.rollbacks == 0:
+            return 0.0
+        return self.events_rolled_back / self.rollbacks
+
+
+@dataclass
+class RunReport:
+    """Whole-run statistics."""
+
+    schedulers: list[SchedulerReport] = field(default_factory=list)
+    elapsed_cycles: int = 0
+    gvt: int = 0
+    saver_name: str = ""
+    overloads: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        processed = sum(s.events_processed for s in self.schedulers)
+        rolled = sum(s.events_rolled_back for s in self.schedulers)
+        return 1.0 if processed == 0 else 1 - rolled / processed
+
+    @property
+    def critical_scheduler(self) -> SchedulerReport:
+        """The scheduler whose CPU time bounds the run."""
+        return max(self.schedulers, key=lambda s: s.cpu_cycles)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean CPU time across schedulers (1.0 = perfectly even)."""
+        if not self.schedulers:
+            return 1.0
+        times = [s.cpu_cycles for s in self.schedulers]
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean else 1.0
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report."""
+        lines = [
+            f"saver={self.saver_name} elapsed={self.elapsed_cycles} "
+            f"gvt={self.gvt} efficiency={self.efficiency:.2f} "
+            f"imbalance={self.load_imbalance:.2f} overloads={self.overloads}"
+        ]
+        for s in self.schedulers:
+            lines.append(
+                f"  sched {s.index}: {s.events_processed} events, "
+                f"{s.rollbacks} rollbacks (mean depth "
+                f"{s.mean_rollback_depth:.1f}), eff {s.efficiency:.2f}, "
+                f"{s.state_bytes_saved} state bytes saved"
+            )
+        return lines
+
+
+def collect_report(sim: TimeWarpSimulation) -> RunReport:
+    """Build a :class:`RunReport` from a finished simulation."""
+    report = RunReport(
+        elapsed_cycles=max(s.proc.now for s in sim.schedulers),
+        gvt=sim.gvt,
+        saver_name=sim.schedulers[0].saver.name,
+        overloads=sim.machine.logger.stats.overload_events,
+    )
+    for sched in sim.schedulers:
+        report.schedulers.append(
+            SchedulerReport(
+                index=sched.index,
+                events_processed=sched.events_processed,
+                events_rolled_back=sched.events_rolled_back,
+                rollbacks=sched.rollback_count,
+                cpu_cycles=sched.proc.now,
+                suspend_cycles=sched.proc.cpu.stats.suspend_cycles,
+                state_bytes_saved=sched.saver.state_bytes_saved,
+            )
+        )
+    return report

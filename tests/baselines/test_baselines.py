@@ -1,0 +1,179 @@
+"""Unit tests: bcopy, write-protect checkpointing, trap & inline logging."""
+
+import pytest
+
+from repro.baselines.bcopy import bcopy, bcopy_cost_cycles
+from repro.baselines.instrumented import InstrumentedLogger, MissedAnnotationAudit
+from repro.baselines.write_protect import TrapLogger, WriteProtectCheckpointer
+from repro.core.deferred_copy import reset_cost_cycles, ResetStats
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
+
+
+class TestBcopy:
+    def test_functional_copy(self, machine, proc):
+        src = StdSegment(PAGE_SIZE, machine=machine)
+        dst = StdSegment(PAGE_SIZE, machine=machine)
+        src.write_bytes(0, b"abcdef")
+        bcopy(proc.cpu, src, dst, PAGE_SIZE)
+        assert dst.read_bytes(0, 6) == b"abcdef"
+
+    def test_cost_linear_in_size(self, machine):
+        c1 = bcopy_cost_cycles(machine.config, 32 * 1024)
+        c2 = bcopy_cost_cycles(machine.config, 64 * 1024)
+        overhead = machine.config.bcopy_call_overhead_cycles
+        assert (c2 - overhead) == 2 * (c1 - overhead)
+
+    def test_charges_cpu(self, machine, proc):
+        src = StdSegment(PAGE_SIZE, machine=machine)
+        dst = StdSegment(PAGE_SIZE, machine=machine)
+        t0 = proc.now
+        cycles = bcopy(proc.cpu, src, dst, PAGE_SIZE)
+        assert proc.now - t0 == cycles == bcopy_cost_cycles(machine.config, PAGE_SIZE)
+
+    def test_copy_respects_deferred_copy_view(self, machine, proc):
+        base = StdSegment(PAGE_SIZE, machine=machine)
+        base.write(0, 42, 4)
+        dc = StdSegment(PAGE_SIZE, machine=machine)
+        dc.source_segment(base)
+        out = StdSegment(PAGE_SIZE, machine=machine)
+        bcopy(proc.cpu, dc, out, PAGE_SIZE)
+        assert out.read(0, 4) == 42
+
+    def test_crossover_near_two_thirds_dirty(self, machine):
+        """Section 4.4: reset beats bcopy below ~2/3 of the segment dirty."""
+        config = machine.config
+        npages = 128  # 512 KB segment
+        seg_bytes = npages * PAGE_SIZE
+        full_copy = bcopy_cost_cycles(config, seg_bytes)
+
+        def reset_cost(dirty_fraction):
+            dirty = int(npages * dirty_fraction)
+            return reset_cost_cycles(
+                config,
+                ResetStats(
+                    pages_scanned=npages,
+                    dirty_pages=dirty,
+                    dirty_lines=dirty * LINES_PER_PAGE,
+                ),
+            )
+
+        assert reset_cost(0.5) < full_copy
+        assert reset_cost(0.9) > full_copy
+        # Crossover between 50% and 90%, bracketing the paper's ~2/3.
+        fractions = [i / 100 for i in range(40, 100)]
+        crossover = next(f for f in fractions if reset_cost(f) > full_copy)
+        assert 0.55 <= crossover <= 0.8
+
+
+class TestWriteProtectCheckpointer:
+    def make(self, machine, proc, npages=4):
+        seg = StdSegment(npages * PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        wp = WriteProtectCheckpointer(proc, region)
+        return wp, region, va
+
+    def test_first_write_per_page_faults(self, machine, proc):
+        wp, region, va = self.make(machine, proc)
+        wp.checkpoint()
+        wp.write(va, 1)
+        wp.write(va + 4, 2)  # same page: no second fault
+        wp.write(va + PAGE_SIZE, 3)  # new page: faults
+        assert wp.fault_count == 2
+        assert wp.dirty_pages == 2
+
+    def test_fault_costs_trap_plus_copy(self, machine, proc):
+        wp, region, va = self.make(machine, proc)
+        wp.checkpoint()
+        t0 = proc.now
+        wp.write(va, 1)
+        assert proc.now - t0 >= machine.config.protection_trap_cycles
+
+    def test_restore_rolls_back_dirty_pages(self, machine, proc):
+        wp, region, va = self.make(machine, proc)
+        proc.write(va, 10)
+        proc.write(va + PAGE_SIZE, 20)
+        wp.checkpoint()
+        wp.write(va, 99)
+        wp.write(va + PAGE_SIZE, 88)
+        wp.restore()
+        assert proc.read(va) == 10
+        assert proc.read(va + PAGE_SIZE) == 20
+
+    def test_restore_reprotects(self, machine, proc):
+        wp, region, va = self.make(machine, proc)
+        wp.checkpoint()
+        wp.write(va, 1)
+        wp.restore()
+        wp.write(va, 2)
+        assert wp.fault_count == 2  # second epoch faults again
+
+    def test_untouched_pages_survive_restore(self, machine, proc):
+        wp, region, va = self.make(machine, proc)
+        proc.write(va + 2 * PAGE_SIZE, 7)
+        wp.checkpoint()
+        wp.write(va, 1)
+        wp.restore()
+        assert proc.read(va + 2 * PAGE_SIZE) == 7
+
+
+class TestTrapLogger:
+    def test_every_write_traps_and_logs(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        tl = TrapLogger(proc, region)
+        for i in range(5):
+            tl.write(va + 4 * i, i)
+        assert tl.trap_count == 5
+        assert [r.value for r in tl.records] == list(range(5))
+        assert seg.read(8, 4) == 2
+
+    def test_cost_is_thousands_of_cycles_per_write(self, machine, proc):
+        """Section 5.1: >3,000 cycles per trapped write."""
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        tl = TrapLogger(proc, region)
+        proc.write(va, 0)  # absorb the page fault
+        t0 = proc.now
+        tl.write(va, 1)
+        assert proc.now - t0 >= 3000
+
+
+class TestInstrumentedLogger:
+    def test_records_match_writes(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        il = InstrumentedLogger(proc, region)
+        il.write(va, 11)
+        il.write(va + 4, 22)
+        assert [(r.addr, r.value) for r in il.records()] == [
+            (va, 11),
+            (va + 4, 22),
+        ]
+
+    def test_cheaper_than_trap_but_not_free(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        il = InstrumentedLogger(proc, region)
+        il.write(va, 0)  # absorb page faults for data and log buffer
+        t0 = proc.now
+        il.write(va + 4, 1)
+        cost = proc.now - t0
+        assert 10 < cost < 200
+
+    def test_missed_annotation_detected(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        il = InstrumentedLogger(proc, region)
+        audit = MissedAnnotationAudit(il)
+        il.write(va, 1)
+        il.unlogged_write(va + 64, 2)  # the forgotten annotation
+        missing = audit.missing_offsets()
+        assert missing == [64]

@@ -1,0 +1,48 @@
+"""Shared fixtures for the LVM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import boot, set_current_machine
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import NEXT_GENERATION, MachineConfig
+
+#: Small physical memory keeps tests fast; plenty for any single test.
+TEST_CONFIG = MachineConfig(memory_bytes=32 * 1024 * 1024)
+TEST_CONFIG_ONCHIP = NEXT_GENERATION.with_changes(memory_bytes=32 * 1024 * 1024)
+
+
+@pytest.fixture
+def machine():
+    """A freshly booted prototype machine, installed as current."""
+    m = boot(TEST_CONFIG)
+    yield m
+    set_current_machine(None)
+
+
+@pytest.fixture
+def onchip_machine():
+    """A machine with the section 4.6 on-chip logger."""
+    m = boot(TEST_CONFIG_ONCHIP)
+    yield m
+    set_current_machine(None)
+
+
+@pytest.fixture
+def proc(machine):
+    """The initial process of the prototype machine."""
+    return machine.current_process
+
+
+def make_logged_region(machine, size=4 * 4096, log_kwargs=None, **log_extra):
+    """Create and bind a logged region; returns (region, log, base_va)."""
+    seg = StdSegment(size, machine=machine)
+    region = StdRegion(seg)
+    log = LogSegment(machine=machine, **(log_kwargs or {}), **log_extra)
+    region.log(log)
+    aspace = machine.current_process.address_space()
+    va = region.bind(aspace)
+    return region, log, va

@@ -1,0 +1,131 @@
+"""Tests: Munin twin/diff vs log-based consistency (section 2.6)."""
+
+import pytest
+
+from repro.errors import LVMError
+from repro.consistency import DsmNode, LogBasedProtocol, MuninProtocol
+from repro.core.process import create_process
+from repro.hw.params import PAGE_SIZE
+
+
+def make_nodes(machine, n_consumers=2, size=2 * PAGE_SIZE):
+    writer = DsmNode(0, machine.current_process, size)
+    consumers = [
+        DsmNode(i + 1, create_process(machine, cpu_index=(i + 1) % len(machine.cpus)), size)
+        for i in range(n_consumers)
+    ]
+    return writer, consumers
+
+
+def run_section(protocol, writes):
+    protocol.acquire()
+    for offset, value in writes:
+        protocol.write(offset, value)
+    protocol.release()
+
+
+@pytest.fixture(params=["munin", "log", "log-nostream"])
+def protocol(request, machine):
+    writer, consumers = make_nodes(machine)
+    if request.param == "munin":
+        return MuninProtocol(writer, consumers)
+    streaming = request.param == "log"
+    return LogBasedProtocol(writer, consumers, streaming=streaming)
+
+
+class TestBothProtocols:
+    def test_consumers_converge(self, protocol):
+        run_section(protocol, [(0, 1), (64, 2), (PAGE_SIZE + 8, 3)])
+        assert protocol.consistent()
+        assert protocol.consumers[0].read(64) == 2
+
+    def test_multiple_sections(self, protocol):
+        run_section(protocol, [(0, 1)])
+        run_section(protocol, [(0, 9), (128, 5)])
+        assert protocol.consistent()
+        assert protocol.consumers[-1].read(0) == 9
+
+    def test_write_outside_lock_rejected(self, protocol):
+        with pytest.raises(LVMError):
+            protocol.write(0, 1)
+
+    def test_release_without_acquire_rejected(self, protocol):
+        with pytest.raises(LVMError):
+            protocol.release()
+
+    def test_empty_section_sends_nothing(self, protocol):
+        protocol.acquire()
+        protocol.release()
+        assert protocol.stats.bytes_sent == 0
+
+
+class TestProtocolDifferences:
+    def test_log_based_sends_only_updated_words(self, machine):
+        """Sparse updates: log-based traffic ≪ a page, and equal to the
+        number of writes; Munin diff also finds just the words but pays
+        the twin/compare."""
+        writer, consumers = make_nodes(machine)
+        log = LogBasedProtocol(writer, consumers, streaming=False)
+        run_section(log, [(0, 1), (512, 2)])
+        assert log.stats.bytes_sent == 2 * 8  # 2 updates x (offset+word)
+
+        writer2, consumers2 = make_nodes(machine)
+        munin = MuninProtocol(writer2, consumers2)
+        run_section(munin, [(0, 1), (512, 2)])
+        assert munin.stats.bytes_sent == 2 * 8
+        assert munin.words_compared == PAGE_SIZE // 4
+
+    def test_lvm_resends_repeated_writes_munin_does_not(self, machine):
+        """The paper's caveat: repeated writes inflate LVM traffic."""
+        writes = [(0, v) for v in range(20)]
+        writer, consumers = make_nodes(machine)
+        log = LogBasedProtocol(writer, consumers, streaming=False)
+        run_section(log, writes)
+
+        writer2, consumers2 = make_nodes(machine)
+        munin = MuninProtocol(writer2, consumers2)
+        run_section(munin, writes)
+
+        assert log.stats.bytes_sent > munin.stats.bytes_sent
+        assert munin.stats.bytes_sent == 8  # final value only
+
+    def test_streaming_cuts_release_latency(self, machine):
+        """Section 2.6: streaming leaves little or no release backlog."""
+        writes = [(4 * i, i) for i in range(200)]
+
+        writer, consumers = make_nodes(machine)
+        streamed = LogBasedProtocol(writer, consumers, streaming=True)
+        run_section(streamed, writes)
+
+        writer2, consumers2 = make_nodes(machine)
+        deferred = LogBasedProtocol(writer2, consumers2, streaming=False)
+        run_section(deferred, writes)
+
+        assert streamed.stats.release_cycles < deferred.stats.release_cycles / 2
+        assert streamed.consistent() and deferred.consistent()
+
+    def test_munin_faults_once_per_page(self, machine):
+        writer, consumers = make_nodes(machine)
+        munin = MuninProtocol(writer, consumers)
+        run_section(
+            munin, [(0, 1), (4, 2), (PAGE_SIZE, 3), (PAGE_SIZE + 4, 4)]
+        )
+        assert munin.fault_count == 2
+
+    def test_log_based_writer_overhead_lower_in_section(self, machine):
+        """LVM removes the trap/twin cost from the writer's section."""
+        writes = [(4 * i, i) for i in range(8)]
+
+        writer, consumers = make_nodes(machine)
+        log = LogBasedProtocol(writer, consumers, streaming=False)
+        t0 = writer.proc.now
+        run_section(log, writes)
+        log_section = writer.proc.now - t0 - log.stats.release_cycles
+
+        writer2, consumers2 = make_nodes(machine)
+        munin = MuninProtocol(writer2, consumers2)
+        t0 = writer2.proc.now
+        run_section(munin, writes)
+        munin_section = writer2.proc.now - t0 - munin.stats.release_cycles
+
+        assert log_section < munin_section

@@ -1,0 +1,71 @@
+"""Edge cases: the DSM substrate itself."""
+
+import pytest
+
+from repro.errors import LVMError
+from repro.consistency import DsmNode, LogBasedProtocol, MuninProtocol
+from repro.consistency.dsm import MESSAGE_OVERHEAD_CYCLES
+from repro.core.process import create_process
+from repro.hw.params import PAGE_SIZE
+
+
+def nodes(machine, sizes=(PAGE_SIZE, PAGE_SIZE)):
+    writer = DsmNode(0, machine.current_process, sizes[0])
+    consumer = DsmNode(1, create_process(machine, 1), sizes[1])
+    return writer, consumer
+
+
+class TestDsmSubstrate:
+    def test_size_mismatch_rejected(self, machine):
+        writer, _ = nodes(machine)
+        bad = DsmNode(2, create_process(machine, 2), 2 * PAGE_SIZE)
+        with pytest.raises(LVMError):
+            MuninProtocol(writer, [bad])
+
+    def test_double_acquire_rejected(self, machine):
+        writer, consumer = nodes(machine)
+        p = LogBasedProtocol(writer, [consumer])
+        p.acquire()
+        with pytest.raises(LVMError):
+            p.acquire()
+
+    def test_stats_accumulate_across_sections(self, machine):
+        writer, consumer = nodes(machine)
+        p = LogBasedProtocol(writer, [consumer], streaming=False)
+        for round_ in range(3):
+            p.acquire()
+            p.write(4 * round_, round_ + 1)
+            p.release()
+        assert p.stats.messages == 3
+        assert p.stats.bytes_sent == 3 * 8
+        assert p.records_sent == 3
+
+    def test_transmit_charges_message_overhead(self, machine):
+        writer, consumer = nodes(machine)
+        p = LogBasedProtocol(writer, [consumer], streaming=False)
+        p.acquire()
+        p.write(0, 1)
+        t0 = writer.proc.now
+        p.release()
+        assert writer.proc.now - t0 >= MESSAGE_OVERHEAD_CYCLES
+
+    def test_consumer_reads_through_its_own_mapping(self, machine):
+        writer, consumer = nodes(machine)
+        p = MuninProtocol(writer, [consumer])
+        p.acquire()
+        p.write(0x40, 77)
+        p.release()
+        assert consumer.read(0x40) == 77
+
+    def test_multiple_consumers_all_updated(self, machine):
+        writer = DsmNode(0, machine.current_process, PAGE_SIZE)
+        consumers = [
+            DsmNode(i + 1, create_process(machine, (i + 1) % 4), PAGE_SIZE)
+            for i in range(3)
+        ]
+        p = LogBasedProtocol(writer, consumers)
+        p.acquire()
+        p.write(8, 5)
+        p.release()
+        assert all(c.read(8) == 5 for c in consumers)
+        assert p.consistent()

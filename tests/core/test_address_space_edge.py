@@ -1,0 +1,129 @@
+"""Edge-case tests: address-space mechanics not covered elsewhere."""
+
+import pytest
+
+from repro.errors import SegmentError, UnmappedAddressError
+from repro.core.address_space import AddressSpace
+from repro.core.log_segment import LogSegment
+from repro.core.process import create_process
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+class TestUnbindRebind:
+    def test_unbind_drops_mappings(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        proc.write(va, 1)
+        region.unbind()
+        with pytest.raises(UnmappedAddressError):
+            proc.read(va)
+
+    def test_rebind_elsewhere_sees_same_data(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va1 = region.bind(proc.address_space())
+        proc.write(va1, 0x77)
+        region.unbind()
+        va2 = region.bind(proc.address_space(), 0x5000_0000)
+        assert va2 != va1
+        assert proc.read(va2) == 0x77
+
+    def test_unbind_logged_region_invalidates_pmt(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        region.log(LogSegment(machine=machine))
+        va = region.bind(proc.address_space())
+        proc.write(va, 1)
+        machine.quiesce()
+        frame_base = seg.page(0).frame.base_addr
+        region.unbind()
+        assert machine.logger.pmt.lookup(frame_base) is None
+
+    def test_logged_region_unbind_rebind_keeps_logging(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        log = LogSegment(machine=machine)
+        region.log(log)
+        va = region.bind(proc.address_space())
+        proc.write(va, 1)
+        machine.quiesce()
+        region.unbind()
+        va = region.bind(proc.address_space())
+        proc.write(va, 2)
+        machine.quiesce()
+        assert [r.value for r in log.records()] == [1, 2]
+
+
+class TestAccessRules:
+    def test_cross_page_word_access_rejected(self, machine, proc):
+        seg = StdSegment(2 * PAGE_SIZE, machine=machine)
+        va = StdRegion(seg).bind(proc.address_space())
+        with pytest.raises(SegmentError):
+            proc.read(va + PAGE_SIZE - 2, 4)
+
+    def test_region_at(self, machine, proc):
+        aspace = proc.address_space()
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(aspace)
+        assert aspace.region_at(va) is region
+        assert aspace.region_at(va + PAGE_SIZE - 1) is region
+        with pytest.raises(UnmappedAddressError):
+            aspace.region_at(va + PAGE_SIZE)
+
+    def test_many_regions_round_trip(self, machine, proc):
+        aspace = proc.address_space()
+        regions = []
+        for i in range(12):
+            seg = StdSegment(PAGE_SIZE * (1 + i % 3), machine=machine)
+            region = StdRegion(seg)
+            va = region.bind(aspace)
+            proc.write(va, 1000 + i)
+            regions.append((region, va))
+        for i, (region, va) in enumerate(regions):
+            assert proc.read(va) == 1000 + i
+            assert aspace.region_at(va) is region
+
+    def test_address_spaces_are_isolated(self, machine, proc):
+        other = create_process(machine, cpu_index=1)
+        seg_a = StdSegment(PAGE_SIZE, machine=machine)
+        seg_b = StdSegment(PAGE_SIZE, machine=machine)
+        va_a = StdRegion(seg_a).bind(proc.address_space())
+        va_b = StdRegion(seg_b).bind(other.address_space())
+        proc.write(va_a, 0xA)
+        other.write(va_b, 0xB)
+        # Same default VA layout, different backing segments.
+        assert va_a == va_b
+        assert proc.read(va_a) == 0xA
+        assert other.read(va_b) == 0xB
+
+    def test_cross_machine_bind_rejected(self, machine):
+        from conftest import TEST_CONFIG
+        from repro.errors import BindError
+        from repro.core.context import boot, set_current_machine
+
+        other_machine = boot(TEST_CONFIG)
+        try:
+            seg = StdSegment(PAGE_SIZE, machine=machine)
+            region = StdRegion(seg)
+            with pytest.raises(BindError):
+                region.bind(AddressSpace(other_machine))
+        finally:
+            set_current_machine(None)
+
+    def test_cross_machine_log_rejected(self, machine):
+        from conftest import TEST_CONFIG
+        from repro.errors import LoggingError
+        from repro.core.context import boot, set_current_machine
+
+        other_machine = boot(TEST_CONFIG)
+        try:
+            seg = StdSegment(PAGE_SIZE, machine=machine)
+            region = StdRegion(seg)
+            with pytest.raises(LoggingError):
+                region.log(LogSegment(machine=other_machine))
+        finally:
+            set_current_machine(None)

@@ -1,0 +1,77 @@
+"""The paper's section 2.2 code sample, transliterated, must work as-is.
+
+.. code-block:: c++
+
+    Segment * seg_a = new StdSegment(size);
+    Region * reg_r = new StdRegion(seg_a);
+    LogSegment * ls = new LogSegment();
+    reg_r->log(ls);
+    as = thisProcess()->addressSpace();
+    reg_r->bind(as);
+"""
+
+from repro import (
+    LogSegment,
+    StdRegion,
+    StdSegment,
+    boot,
+    set_current_machine,
+    this_process,
+)
+from repro.core.process import thisProcess
+from repro.hw.params import MachineConfig
+
+
+def test_section_2_2_code_sample():
+    machine = boot(MachineConfig(memory_bytes=8 * 1024 * 1024))
+    try:
+        size = 4096
+        seg_a = StdSegment(size)
+        reg_r = StdRegion(seg_a)
+        # "the two lines to create a new LogSegment and associate it
+        # with the region" (section 2.2)
+        ls = LogSegment()
+        reg_r.log(ls)
+        aspace = thisProcess().addressSpace()
+        va = reg_r.bind(aspace)
+
+        proc = this_process()
+        proc.write(va, 0x1111)
+        machine.quiesce()
+        assert [r.value for r in ls.records()] == [0x1111]
+    finally:
+        set_current_machine(None)
+
+
+def test_table1_style_aliases_exist():
+    machine = boot(MachineConfig(memory_bytes=8 * 1024 * 1024))
+    try:
+        seg = StdSegment(4096)
+        dst = StdSegment(4096)
+        # Table 1: Segment::sourceSegment(source, offset)
+        dst.sourceSegment(seg)
+        region = StdRegion(dst)
+        aspace = this_process().addressSpace()
+        va = region.bind(aspace)
+        # Table 1: AddressSpace::resetDeferredCopy(start, end)
+        aspace.resetDeferredCopy(va, va + 4096)
+    finally:
+        set_current_machine(None)
+
+
+def test_log_segment_is_a_segment():
+    """'LogSegment is also derived from Segment' (Table 1)."""
+    from repro.core.segment import Segment
+
+    machine = boot(MachineConfig(memory_bytes=8 * 1024 * 1024))
+    try:
+        assert issubclass(LogSegment, Segment)
+        # A log segment can itself be mapped into an address space so
+        # the same (or a different) application can read the records
+        # (section 2.1).
+        ls = LogSegment(size=4096)
+        region = StdRegion(ls)
+        va = region.bind(this_process().addressSpace())
+        assert this_process().read(va) == 0
+    finally:
+        set_current_machine(None)

@@ -1,0 +1,92 @@
+"""Tests: per-process log multiplexing via context switch (§3.1.2)."""
+
+import pytest
+
+from repro.core.log_segment import LogSegment
+from repro.core.process import create_process
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+def logged_region_for(machine, proc, segment):
+    region = StdRegion(segment)
+    region.log(LogSegment(machine=machine))
+    region.bind(proc.address_space())
+    return region
+
+
+class TestContextSwitch:
+    def test_switch_charges_cycles(self, machine, proc):
+        other = create_process(machine, cpu_index=0)
+        t0 = proc.cpu.now
+        machine.kernel.context_switch(other)
+        assert proc.cpu.now - t0 >= machine.config.context_switch_cycles
+
+    def test_switch_installs_address_space(self, machine, proc):
+        other = create_process(machine, cpu_index=0)
+        machine.kernel.context_switch(other)
+        assert proc.cpu.address_space is other.address_space()
+        assert machine.current_process is other
+
+    def test_two_processes_log_same_segment_time_multiplexed(self, machine, proc):
+        """The section 3.1.2 scenario: one shared segment, two
+        processes, each with its own log — by unloading at switch."""
+        shared = StdSegment(PAGE_SIZE, machine=machine)
+        kernel = machine.kernel
+
+        # Process A (current) gets its logged mapping first.
+        region_a = logged_region_for(machine, proc, shared)
+        proc.write(region_a.base_va, 0xA1)
+
+        # Deactivate A's log so B's can be created, then bind B's.
+        kernel.detach_region_log(region_a, cpu=proc.cpu)
+        proc_b = create_process(machine, cpu_index=0)
+        region_b = logged_region_for(machine, proc_b, shared)
+
+        # Run B: its writes go to its own log.
+        kernel.context_switch(proc_b)
+        proc_b.write(region_b.base_va + 4, 0xB1)
+
+        # Switch back to A: A's log reactivates, B's unloads.
+        # (context_switch detaches the outgoing B before attaching A,
+        # but A's region lives in A's address space, so reattach it.)
+        kernel.context_switch(proc)
+        proc.write(region_a.base_va + 8, 0xA2)
+        machine.quiesce()
+
+        values_a = [r.value for r in region_a.log_segment.records()]
+        values_b = [r.value for r in region_b.log_segment.records()]
+        assert values_a == [0xA1, 0xA2]
+        assert values_b == [0xB1]
+        # "transactions are not randomly intermixed in the log"
+        assert region_a.log_segment is not region_b.log_segment
+
+    def test_reactivated_log_appends_after_existing_records(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = logged_region_for(machine, proc, seg)
+        proc.write(region.base_va, 1)
+        machine.kernel.detach_region_log(region, cpu=proc.cpu)
+        proc.write(region.base_va + 4, 2)  # unlogged while detached
+        machine.kernel.attach_region_log(region)
+        proc.write(region.base_va + 8, 3)
+        machine.quiesce()
+        assert [r.value for r in region.log_segment.records()] == [1, 3]
+
+    def test_detached_region_keeps_log_segment(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = logged_region_for(machine, proc, seg)
+        log = region.log_segment
+        machine.kernel.detach_region_log(region, cpu=proc.cpu)
+        assert region.log_segment is log
+        assert region.log_index is None
+
+    def test_switch_to_same_address_space_keeps_logs(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = logged_region_for(machine, proc, seg)
+        index = region.log_index
+        machine.kernel.context_switch(proc)  # switch to self
+        assert region.log_index == index
+        proc.write(region.base_va, 7)
+        machine.quiesce()
+        assert region.log_segment.record_count == 1

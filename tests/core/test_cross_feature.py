@@ -1,0 +1,142 @@
+"""Cross-feature integration: subsystems composing over one machine.
+
+These exercise combinations a downstream user would actually build:
+a debugger monitoring a live RLVM database, the visualizer following a
+Time Warp simulation's working segment, prototype-vs-on-chip update
+stream equivalence, and deferred copy composed with logging.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import TEST_CONFIG, TEST_CONFIG_ONCHIP, make_logged_region
+from repro.core.context import boot, set_current_machine
+from repro.core.log_reader import RegionLogView
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+class TestMonitorOverRlvm:
+    def test_nonconsuming_monitor_does_not_break_transactions(self, machine, proc):
+        """A debugger can watch a recoverable segment's log while RLVM
+        keeps committing — because the monitor is non-consuming."""
+        from repro.debugger import WriteMonitor
+        from repro.rvm.rlvm import RLVM
+
+        rlvm = RLVM(proc)
+        va = rlvm.map("db", 4096)
+        region = rlvm.segments["db"].region
+        monitor = WriteMonitor(region, consume=False)
+        monitor.watch(va)
+
+        txn = rlvm.begin()
+        txn.write(va, 111)
+        hits, _ = monitor.poll()  # observe mid-transaction
+        assert [h.value for h in hits] == [111]
+        txn.commit()  # commit still sees its records
+        assert proc.read(va) == 111
+        # And survives a crash: the monitor didn't eat the redo info.
+        recovered = rlvm.crash_and_recover()
+        assert proc.read(recovered.segments["db"].data_va) == 111
+
+
+class TestVisualizerOverTimeWarp:
+    def test_visualizer_follows_simulation_state(self, machine):
+        from repro.core.process import create_process
+        from repro.output import StateVisualizer
+        from repro.timewarp import CultPolicy, PholdModel, TimeWarpSimulation
+        from repro.timewarp.state_saving import LVMStateSaver, MARKER_BYTES
+
+        # CULT would truncate the log as GVT advances; defer it forever
+        # so the follower sees the complete update stream.
+        no_cult = CultPolicy(lead_margin=10**12, log_budget_bytes=1 << 62)
+        sim = TimeWarpSimulation(
+            PholdModel(num_objects=4, population=4, seed=9),
+            end_time=60,
+            saver=None,
+            n_schedulers=1,
+            machine=machine,
+            saver_factory=lambda: LVMStateSaver(cult_policy=no_cult),
+        )
+        sched = sim.schedulers[0]
+        out = create_process(machine, cpu_index=1)
+        viz = StateVisualizer(
+            out,
+            sched.saver.region,
+            watch=[(f"obj{i}", MARKER_BYTES + i * 16) for i in range(4)],
+        )
+        sim.run()
+        viz.synchronize()
+        # The replica's event counters match the committed state.
+        for i, obj in enumerate(sched.local_objects):
+            expected = int.from_bytes(sched.object_state(obj)[:4], "little")
+            assert viz.value(f"obj{i}") == expected
+
+
+class TestPrototypeOnChipEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, PAGE_SIZE // 4 - 1),
+                st.integers(0, 2**32 - 1),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_same_update_stream(self, ops):
+        """Both logger designs produce the same (offset, value) stream
+        for the same program, despite different record addressing."""
+        streams = []
+        for config in (TEST_CONFIG, TEST_CONFIG_ONCHIP):
+            machine = boot(config)
+            try:
+                proc = machine.current_process
+                region, log, va = make_logged_region(machine, size=PAGE_SIZE)
+                for word, value in ops:
+                    proc.write(va + 4 * word, value)
+                machine.quiesce()
+                view = RegionLogView(region)
+                streams.append([(o, v, s) for o, v, s in view.updates()])
+            finally:
+                set_current_machine(None)
+        assert streams[0] == streams[1]
+
+
+class TestDeferredCopyWithLogging:
+    def test_rollback_log_replay_composition(self, machine, proc):
+        """The full Figure 3 mechanic outside the Time Warp kernel:
+        checkpoint <- deferred copy <- working (logged), manual
+        reset + partial replay."""
+        region, log, va = make_logged_region(machine, size=PAGE_SIZE)
+        checkpoint = StdSegment(region.size, machine=machine)
+        region.segment.source_segment(checkpoint)
+
+        for i, value in enumerate((10, 20, 30, 40)):
+            proc.write(va + 4 * i, value)
+        machine.quiesce()
+
+        # Roll back, then roll forward only the first two updates.
+        aspace = proc.address_space()
+        aspace.reset_deferred_copy(va, va + region.size, cpu=proc.cpu)
+        view = RegionLogView(region)
+        offsets = [off for off, _ in log.records_with_offsets()]
+        view.apply_to(region.segment, limit_offset=offsets[2])
+
+        assert proc.read(va) == 10
+        assert proc.read(va + 4) == 20
+        assert proc.read(va + 8) == 0
+        assert proc.read(va + 12) == 0
+
+    def test_reset_also_clears_replayed_state(self, machine, proc):
+        region, log, va = make_logged_region(machine, size=PAGE_SIZE)
+        checkpoint = StdSegment(region.size, machine=machine)
+        region.segment.source_segment(checkpoint)
+        proc.write(va, 5)
+        machine.quiesce()
+        aspace = proc.address_space()
+        aspace.reset_deferred_copy(va, va + region.size, cpu=proc.cpu)
+        RegionLogView(region).apply_to(region.segment)
+        assert proc.read(va) == 5
+        aspace.reset_deferred_copy(va, va + region.size, cpu=proc.cpu)
+        assert proc.read(va) == 0

@@ -1,0 +1,167 @@
+"""Tests: heap allocation over regions and placement auditing (§2.7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heap import HeapAllocator, HeapError, audit_placement
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import LINE_SIZE, PAGE_SIZE
+
+
+def make_heap(machine, proc, size=4 * PAGE_SIZE, logged=False):
+    seg = StdSegment(size, machine=machine)
+    region = StdRegion(seg)
+    if logged:
+        region.log(LogSegment(machine=machine))
+    region.bind(proc.address_space())
+    return HeapAllocator(proc, region)
+
+
+class TestHeapAllocator:
+    def test_allocations_distinct_and_aligned(self, machine, proc):
+        heap = make_heap(machine, proc)
+        a = heap.allocate(10)
+        b = heap.allocate(100)
+        assert a != b
+        assert a % LINE_SIZE == 0 and b % LINE_SIZE == 0
+
+    def test_free_and_reuse(self, machine, proc):
+        heap = make_heap(machine, proc)
+        a = heap.allocate(64)
+        heap.free(a)
+        b = heap.allocate(64)
+        assert b == a  # first fit reuses the hole
+
+    def test_double_free_rejected(self, machine, proc):
+        heap = make_heap(machine, proc)
+        a = heap.allocate(16)
+        heap.free(a)
+        with pytest.raises(HeapError):
+            heap.free(a)
+
+    def test_free_unallocated_rejected(self, machine, proc):
+        heap = make_heap(machine, proc)
+        heap.allocate(16)
+        with pytest.raises(HeapError):
+            heap.free(heap.region.base_va + 64)
+
+    def test_exhaustion(self, machine, proc):
+        heap = make_heap(machine, proc, size=PAGE_SIZE)
+        heap.allocate(PAGE_SIZE)
+        with pytest.raises(HeapError):
+            heap.allocate(16)
+
+    def test_coalescing_allows_large_realloc(self, machine, proc):
+        heap = make_heap(machine, proc, size=PAGE_SIZE)
+        blocks = [heap.allocate(PAGE_SIZE // 4) for _ in range(4)]
+        for va in blocks:
+            heap.free(va)
+        assert heap.allocate(PAGE_SIZE) == blocks[0]
+
+    def test_charges_cycles(self, machine, proc):
+        heap = make_heap(machine, proc)
+        t0 = proc.now
+        va = heap.allocate(32)
+        heap.free(va)
+        assert proc.now > t0
+
+    def test_contains(self, machine, proc):
+        heap = make_heap(machine, proc)
+        va = heap.allocate(32)
+        assert heap.contains(va)
+        assert heap.contains(va + 31)
+        assert not heap.contains(va + 64)
+        assert not heap.contains(0x7777_0000)
+
+    def test_unbound_region_rejected(self, machine, proc):
+        region = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+        with pytest.raises(HeapError):
+            HeapAllocator(proc, region)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 300)), min_size=1, max_size=40
+        )
+    )
+    def test_property_no_overlap_and_conservation(self, ops):
+        """Live allocations never overlap; free+allocated == heap size."""
+        from repro.core.context import boot, set_current_machine
+        from conftest import TEST_CONFIG
+
+        machine = boot(TEST_CONFIG)
+        try:
+            proc = machine.current_process
+            heap = make_heap(machine, proc, size=4 * PAGE_SIZE)
+            live = []
+            for do_alloc, size in ops:
+                if do_alloc or not live:
+                    try:
+                        live.append(heap.allocate(size))
+                    except HeapError:
+                        pass  # exhaustion is legal
+                else:
+                    heap.free(live.pop(0))
+            allocs = heap.allocations()
+            for (va1, s1), (va2, s2) in zip(allocs, allocs[1:]):
+                assert va1 + s1 <= va2
+            assert heap.free_bytes + heap.bytes_allocated == heap.region.size
+        finally:
+            set_current_machine(None)
+
+
+class TestObjectPlacement:
+    def test_objects_on_logged_heap_are_logged(self, machine, proc):
+        """Same 'type', different region: only one instance logs (2.7)."""
+        logged = make_heap(machine, proc, logged=True)
+        plain = make_heap(machine, proc, logged=False)
+        assert logged.is_logged and not plain.is_logged
+
+        hot = logged.allocate(32)
+        cold = plain.allocate(32)
+        proc.write(hot, 1)
+        proc.write(cold, 2)
+        machine.quiesce()
+        log = logged.region.log_segment
+        assert log.record_count == 1
+        assert next(iter(log.records())).value == 1
+
+    def test_audit_detects_misplacement(self, machine, proc):
+        logged = make_heap(machine, proc, logged=True)
+        plain = make_heap(machine, proc, logged=False)
+        objects = {
+            "account_table": logged.allocate(128),
+            "scratch_buffer": plain.allocate(128),
+            "journal_root": plain.allocate(64),  # should have been logged!
+            "stats_cache": logged.allocate(64),  # wastes log bandwidth
+        }
+        misplaced = audit_placement(
+            objects, logged, plain, must_log={"account_table", "journal_root"}
+        )
+        assert sorted(misplaced) == ["journal_root", "stats_cache"]
+
+    def test_audit_rejects_foreign_object(self, machine, proc):
+        from repro.errors import SegmentError
+
+        logged = make_heap(machine, proc, logged=True)
+        plain = make_heap(machine, proc, logged=False)
+        with pytest.raises(SegmentError):
+            audit_placement({"ghost": 0x1234}, logged, plain, set())
+
+    def test_field_fracturing(self, machine, proc):
+        """Section 2.7: split an object so only the loggable fields live
+        in the logged region."""
+        logged = make_heap(machine, proc, logged=True)
+        plain = make_heap(machine, proc, logged=False)
+        # An "object" with 2 persistent words and 14 scratch words.
+        persistent = logged.allocate(8)
+        scratch = plain.allocate(56)
+        for i in range(100):
+            proc.write(scratch + 4 * (i % 14), i)  # rapid temporaries
+        proc.write(persistent, 42)
+        proc.write(persistent + 4, 43)
+        machine.quiesce()
+        # Only the 2 persistent writes hit the log.
+        assert logged.region.log_segment.record_count == 2

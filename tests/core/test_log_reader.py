@@ -1,0 +1,124 @@
+"""Tests: RegionLogView translation and LogFollower streaming."""
+
+import pytest
+
+from conftest import make_logged_region
+from repro.errors import LoggingError
+from repro.core.log_reader import LogFollower, RegionLogView
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+class TestRegionLogView:
+    def test_offset_and_va_translation(self, machine, proc):
+        region, log, va = make_logged_region(machine, size=4 * PAGE_SIZE)
+        proc.write(va + PAGE_SIZE + 0x24, 7)
+        machine.quiesce()
+        view = RegionLogView(region)
+        (record,) = view.records()
+        assert view.offset_of(record) == PAGE_SIZE + 0x24
+        assert view.va_of(record) == va + PAGE_SIZE + 0x24
+
+    def test_virtual_records_translated_directly(self, onchip_machine):
+        machine = onchip_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        proc.write(va + 0x40, 1)
+        machine.quiesce()
+        view = RegionLogView(region)
+        (record,) = view.records()
+        assert record.is_virtual
+        assert view.offset_of(record) == 0x40
+        assert view.va_of(record) == va + 0x40
+
+    def test_foreign_record_rejected(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        view = RegionLogView(region)
+        from repro.hw.records import LogRecord
+
+        ghost = LogRecord(addr=0xDEAD000, value=0, size=4, timestamp=0)
+        with pytest.raises(LoggingError):
+            view.offset_of(ghost)
+
+    def test_requires_a_log(self, machine, proc):
+        region = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+        region.bind(proc.address_space())
+        with pytest.raises(LoggingError):
+            RegionLogView(region)
+
+    def test_updates_stream(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        proc.write(va, 10)
+        proc.write(va + 8, 20, 2)
+        machine.quiesce()
+        view = RegionLogView(region)
+        assert list(view.updates()) == [(0, 10, 4), (8, 20, 2)]
+
+    def test_apply_to_replays(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        for i in range(8):
+            proc.write(va + 4 * i, 100 + i)
+        machine.quiesce()
+        view = RegionLogView(region)
+        replica = StdSegment(region.size, machine=machine)
+        applied = view.apply_to(replica)
+        assert applied == 8
+        assert replica.read_bytes(0, 32) == region.segment.read_bytes(0, 32)
+
+    def test_apply_to_with_limit(self, machine, proc):
+        from repro.hw.params import LOG_RECORD_SIZE
+
+        region, log, va = make_logged_region(machine)
+        for i in range(4):
+            proc.write(va + 4 * i, i + 1)
+        machine.quiesce()
+        view = RegionLogView(region)
+        replica = StdSegment(region.size, machine=machine)
+        applied = view.apply_to(replica, limit_offset=2 * LOG_RECORD_SIZE)
+        assert applied == 2
+        assert replica.read(4, 4) == 2
+        assert replica.read(8, 4) == 0
+
+
+class TestLogFollower:
+    def test_poll_sees_only_new_records(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        follower = LogFollower(RegionLogView(region))
+        proc.write(va, 1)
+        machine.quiesce()
+        assert [r.value for r in follower.poll()] == [1]
+        proc.write(va + 4, 2)
+        proc.write(va + 8, 3)
+        machine.quiesce()
+        assert [r.value for r in follower.poll()] == [2, 3]
+        assert follower.poll() == []
+        assert follower.records_seen == 3
+
+    def test_backlog_tracking(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        follower = LogFollower(RegionLogView(region))
+        for i in range(5):
+            proc.write(va + 4 * i, i)
+        machine.quiesce()
+        assert follower.backlog_bytes == 5 * 16
+        follower.poll()
+        assert follower.backlog_bytes == 0
+
+    def test_synchronize_lands_inflight_records(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        follower = LogFollower(RegionLogView(region))
+        proc.write(va, 42)  # still in the logger pipeline
+        records = follower.synchronize()
+        assert [r.value for r in records] == [42]
+
+    def test_survives_producer_truncation(self, machine, proc):
+        region, log, va = make_logged_region(machine)
+        follower = LogFollower(RegionLogView(region))
+        proc.write(va, 1)
+        machine.quiesce()
+        follower.poll()
+        log.truncate()  # producer trims consumed history
+        proc.write(va + 4, 2)
+        machine.quiesce()
+        assert [r.value for r in follower.poll()] == [2]

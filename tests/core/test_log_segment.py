@@ -1,0 +1,127 @@
+"""Unit tests: log segments — extension, truncation, record iteration."""
+
+import pytest
+
+from repro.errors import LoggingError
+from repro.core.log_segment import LogSegment
+from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
+from repro.hw.records import encode_record
+
+
+def append_raw(log, addr, value, ts):
+    """Simulate a hardware append directly (no logger involved)."""
+    dest = log.hw_append_paddr()
+    assert dest is not None
+    log.machine.memory.write_bytes(dest, encode_record(addr, value, 4, ts))
+    log.note_append(LOG_RECORD_SIZE)
+
+
+class TestLogSegment:
+    def test_empty_log(self, machine):
+        log = LogSegment(machine=machine)
+        assert log.record_count == 0
+        assert list(log.records()) == []
+
+    def test_append_and_iterate(self, machine):
+        log = LogSegment(machine=machine)
+        for i in range(5):
+            append_raw(log, 4 * i, 100 + i, i)
+        assert log.record_count == 5
+        values = [r.value for r in log.records()]
+        assert values == [100, 101, 102, 103, 104]
+
+    def test_records_with_offsets(self, machine):
+        log = LogSegment(machine=machine)
+        append_raw(log, 0, 1, 0)
+        append_raw(log, 4, 2, 1)
+        pairs = list(log.records_with_offsets())
+        assert [off for off, _ in pairs] == [0, LOG_RECORD_SIZE]
+
+    def test_truncate_drops_head(self, machine):
+        log = LogSegment(machine=machine)
+        for i in range(4):
+            append_raw(log, 4 * i, i, i)
+        log.truncate(2 * LOG_RECORD_SIZE)
+        assert [r.value for r in log.records()] == [2, 3]
+        assert log.record_count == 2
+
+    def test_truncate_all(self, machine):
+        log = LogSegment(machine=machine)
+        append_raw(log, 0, 1, 0)
+        log.truncate()
+        assert list(log.records()) == []
+        assert log.record_count == 0
+
+    def test_untruncate_rejected(self, machine):
+        log = LogSegment(machine=machine)
+        append_raw(log, 0, 1, 0)
+        log.truncate()
+        with pytest.raises(LoggingError):
+            log.truncate(0)
+
+    def test_truncate_beyond_end_rejected(self, machine):
+        log = LogSegment(machine=machine)
+        with pytest.raises(LoggingError):
+            log.truncate(LOG_RECORD_SIZE)
+
+    def test_hw_append_crosses_pages_with_auto_extend(self, machine):
+        log = LogSegment(machine=machine, auto_extend=True, initial_pages=1)
+        per_page = PAGE_SIZE // LOG_RECORD_SIZE
+        for i in range(per_page + 3):
+            append_raw(log, 4 * i, i, i)
+        assert log.record_count == per_page + 3
+        assert log.available_pages == 2
+
+    def test_no_auto_extend_runs_out(self, machine):
+        log = LogSegment(
+            size=2 * PAGE_SIZE, machine=machine, auto_extend=False, initial_pages=1
+        )
+        per_page = PAGE_SIZE // LOG_RECORD_SIZE
+        for i in range(per_page):
+            append_raw(log, 0, i, i)
+        assert log.hw_append_paddr() is None
+        log.extend(1)
+        assert log.hw_append_paddr() is not None
+
+    def test_capacity_is_hard_limit(self, machine):
+        log = LogSegment(size=PAGE_SIZE, machine=machine, auto_extend=True)
+        per_page = PAGE_SIZE // LOG_RECORD_SIZE
+        for i in range(per_page):
+            append_raw(log, 0, i, i)
+        assert log.hw_append_paddr() is None
+
+    def test_values_iteration_indexed(self, machine):
+        log = LogSegment(machine=machine)
+        for v in (11, 22, 33):
+            dest = log.hw_append_paddr()
+            machine.memory.write_bytes(dest, v.to_bytes(4, "little"))
+            log.note_append(4)
+        assert list(log.values()) == [11, 22, 33]
+
+    def test_extended_sink_pads_page_boundaries(self, machine):
+        log = LogSegment(machine=machine, extended_records=True)
+        sink = log.make_sink()
+        payload = b"\x00" * 24
+        per_page = PAGE_SIZE // 24  # 170 whole records, 16 bytes slack
+        for _ in range(per_page + 1):
+            assert sink(payload) is not None
+        # The 171st record must start on the second page.
+        assert log.append_offset == PAGE_SIZE + 24
+
+    def test_sink_reports_full(self, machine):
+        log = LogSegment(size=PAGE_SIZE, machine=machine, extended_records=True)
+        sink = log.make_sink()
+        payload = b"\x00" * 24
+        for _ in range(PAGE_SIZE // 24):
+            assert sink(payload) is not None
+        assert sink(payload) is None
+        assert log.lost_records == 1
+
+    def test_bad_initial_pages(self, machine):
+        with pytest.raises(LoggingError):
+            LogSegment(machine=machine, initial_pages=0)
+
+    def test_bad_extend(self, machine):
+        log = LogSegment(machine=machine)
+        with pytest.raises(LoggingError):
+            log.extend(0)

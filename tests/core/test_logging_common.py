@@ -1,0 +1,123 @@
+"""Logger-design-independent semantics.
+
+Everything in this suite must hold for BOTH the prototype bus logger
+and the section 4.6 on-chip logger: applications written against the
+LVM API cannot tell them apart except through addressing mode and
+performance.
+"""
+
+import pytest
+
+from conftest import TEST_CONFIG, TEST_CONFIG_ONCHIP, make_logged_region
+from repro.core.context import boot, set_current_machine
+from repro.core.log_segment import LogSegment
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+@pytest.fixture(params=["prototype", "onchip"])
+def any_machine(request):
+    config = TEST_CONFIG if request.param == "prototype" else TEST_CONFIG_ONCHIP
+    machine = boot(config)
+    yield machine
+    set_current_machine(None)
+
+
+class TestCommonLoggingSemantics:
+    def test_order_and_completeness(self, any_machine):
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        for i in range(40):
+            proc.write(va + 4 * (i % 64), i)
+        machine.quiesce()
+        assert [r.value for r in log.records()] == list(range(40))
+        assert log.lost_records == 0
+
+    def test_timestamps_monotone(self, any_machine):
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        for i in range(25):
+            proc.compute(13)
+            proc.write(va + 4 * i, i)
+        machine.quiesce()
+        stamps = [r.timestamp for r in log.records()]
+        assert stamps == sorted(stamps)
+
+    def test_dynamic_enable_disable(self, any_machine):
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        proc.write(va, 1)
+        machine.quiesce()
+        region.unlog()
+        proc.write(va + 4, 2)
+        log2 = LogSegment(machine=machine)
+        region.log(log2)
+        proc.write(va + 8, 3)
+        machine.quiesce()
+        assert [r.value for r in log.records()] == [1]
+        assert [r.value for r in log2.records()] == [3]
+
+    def test_truncation(self, any_machine):
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        for i in range(6):
+            proc.write(va + 4 * i, i)
+        machine.quiesce()
+        log.truncate()
+        proc.write(va, 99)
+        machine.quiesce()
+        assert [r.value for r in log.records()] == [99]
+
+    def test_multi_page_log_growth(self, any_machine):
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine, size=4 * PAGE_SIZE)
+        n = 2 * (PAGE_SIZE // 16) + 7
+        for i in range(n):
+            proc.write(va + 4 * (i % 1024), i)
+        machine.quiesce()
+        assert log.record_count == n
+        assert log.available_pages >= 3
+
+    def test_replay_reconstructs_state(self, any_machine):
+        from repro.core.log_reader import RegionLogView
+
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        for i in range(30):
+            proc.write(va + 4 * (i * 7 % 100), i * 3)
+        machine.quiesce()
+        replica = StdSegment(region.size, machine=machine)
+        RegionLogView(region).apply_to(replica)
+        assert replica.snapshot() == region.segment.snapshot()
+
+    def test_subword_sizes(self, any_machine):
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        proc.write(va, 0x11, 1)
+        proc.write(va + 2, 0x2222, 2)
+        proc.write(va + 4, 0x33333333, 4)
+        machine.quiesce()
+        assert [(r.value, r.size) for r in log.records()] == [
+            (0x11, 1),
+            (0x2222, 2),
+            (0x33333333, 4),
+        ]
+
+    def test_write_monitor_works_on_both(self, any_machine):
+        from repro.debugger import WriteMonitor
+
+        machine = any_machine
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine)
+        monitor = WriteMonitor(region, consume=False)
+        monitor.watch(va + 8)
+        proc.write(va + 8, 0xAB)
+        hits, _ = monitor.poll()
+        assert [h.vaddr for h in hits] == [va + 8]

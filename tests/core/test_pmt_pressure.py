@@ -1,0 +1,116 @@
+"""PMT conflict behaviour under logging load (section 3.1.1).
+
+The page mapping table is direct mapped: two physical pages whose page
+numbers share the low 15 bits evict each other.  Writes alternating
+between two conflicting pages thrash the PMT — every write takes a
+logging fault — yet no records are lost; a larger index width makes the
+conflict disappear.  (This is the software-visible cost of the
+prototype's "direct-mapped TLB-like structure".)
+"""
+
+import pytest
+
+from repro.core.context import boot, set_current_machine
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE, MachineConfig
+
+
+def build_conflicting_setup(index_bits):
+    """Two logged pages whose frames conflict in a small PMT."""
+    config = MachineConfig(
+        memory_bytes=512 * 1024 * 1024, pmt_index_bits=index_bits
+    )
+    machine = boot(config)
+    proc = machine.current_process
+    stride_frames = 1 << index_bits  # same index, different tag
+
+    seg = StdSegment(2 * PAGE_SIZE, machine=machine)
+    region = StdRegion(seg)
+    log = LogSegment(machine=machine)
+    region.log(log)
+    va = region.bind(proc.address_space())
+
+    # Fault page 0 in, then burn frames so page 1 lands on a
+    # conflicting frame number.
+    proc.write(va, 0)
+    frame0 = seg.page(0).frame.number
+    while machine.memory._next_free % stride_frames != frame0 % stride_frames:
+        machine.memory.allocate_frame()
+    proc.write(va + PAGE_SIZE, 0)
+    frame1 = seg.page(1).frame.number
+    assert frame0 % stride_frames == frame1 % stride_frames
+    machine.quiesce()
+    return machine, proc, va, log
+
+
+class TestPmtConflicts:
+    def test_alternating_pages_thrash_small_pmt(self):
+        machine, proc, va, log = build_conflicting_setup(index_bits=4)
+        faults_before = machine.logger.stats.pmt_fault_count
+        n = 40
+        for i in range(n):
+            proc.compute(100)
+            page = (i % 2) * PAGE_SIZE
+            proc.write(va + page + 4 + 4 * i, i)
+        machine.quiesce()
+        faults = machine.logger.stats.pmt_fault_count - faults_before
+        # Every write after the first alternation faults.
+        assert faults >= n - 2
+        # But the log is still complete and ordered.
+        assert [r.value for r in log.records()][2:] == list(range(n))
+        set_current_machine(None)
+
+    def test_wide_pmt_has_no_conflicts(self):
+        machine, proc, va, log = build_conflicting_setup(index_bits=4)
+        set_current_machine(None)
+        # Same physical layout, full-width PMT: indexes differ.
+        machine2 = boot(
+            MachineConfig(memory_bytes=512 * 1024 * 1024, pmt_index_bits=15)
+        )
+        proc2 = machine2.current_process
+        seg = StdSegment(2 * PAGE_SIZE, machine=machine2)
+        region = StdRegion(seg)
+        region.log(LogSegment(machine=machine2))
+        va2 = region.bind(proc2.address_space())
+        proc2.write(va2, 0)
+        proc2.write(va2 + PAGE_SIZE, 0)
+        machine2.quiesce()
+        before = machine2.logger.stats.pmt_fault_count
+        for i in range(40):
+            proc2.compute(100)
+            proc2.write(va2 + (i % 2) * PAGE_SIZE + 4 + 4 * i, i)
+        machine2.quiesce()
+        assert machine2.logger.stats.pmt_fault_count == before
+        set_current_machine(None)
+
+    def test_thrash_costs_show_in_elapsed_time(self):
+        """PMT thrash slows the run (logging faults stall the logger,
+        eventually backing pressure onto the writer)."""
+        machine, proc, va, log = build_conflicting_setup(index_bits=4)
+        t0 = proc.now
+        for i in range(200):
+            proc.write(va + (i % 2) * PAGE_SIZE + 8 + 4 * (i // 2), i)
+        machine.sync(proc.cpu)
+        thrashed = proc.now - t0
+        set_current_machine(None)
+
+        # Reference: the same writes on a machine whose PMT holds both
+        # pages without conflict.
+        machine2 = boot(MachineConfig(memory_bytes=64 * 1024 * 1024))
+        proc2 = machine2.current_process
+        seg = StdSegment(2 * PAGE_SIZE, machine=machine2)
+        region = StdRegion(seg)
+        region.log(LogSegment(machine=machine2))
+        va2 = region.bind(proc2.address_space())
+        proc2.write(va2, 0)
+        proc2.write(va2 + PAGE_SIZE, 0)
+        machine2.quiesce()
+        t0 = proc2.now
+        for i in range(200):
+            proc2.write(va2 + (i % 2) * PAGE_SIZE + 8 + 4 * (i // 2), i)
+        machine2.sync(proc2.cpu)
+        clean = proc2.now - t0
+        set_current_machine(None)
+        assert thrashed > 2 * clean

@@ -1,0 +1,102 @@
+"""Property-based tests for the core LVM invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import TEST_CONFIG, make_logged_region
+from repro.core.context import boot, set_current_machine
+from repro.hw.params import PAGE_SIZE
+
+write_ops = st.lists(
+    st.tuples(
+        st.integers(0, PAGE_SIZE - 4).map(lambda x: x & ~3),  # aligned offset
+        st.integers(0, 2**32 - 1),  # value
+        st.integers(0, 60),  # compute gap
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=write_ops)
+def test_property_log_is_exact_write_sequence(ops):
+    """Log completeness and order: the decoded log IS the write sequence.
+
+    For any sequence of writes to a logged region — regardless of
+    compute gaps, overloads, page faults — the log contains exactly one
+    record per write, in program order, with the written values and
+    non-decreasing timestamps.
+    """
+    machine = boot(TEST_CONFIG)
+    try:
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine, size=PAGE_SIZE)
+        for offset, value, gap in ops:
+            if gap:
+                proc.compute(gap)
+            proc.write(va + offset, value)
+        machine.quiesce()
+
+        records = list(log.records())
+        assert len(records) == len(ops)
+        frame_base = (
+            region.segment.page(0).frame.base_addr if ops else 0
+        )
+        for (offset, value, _), record in zip(ops, records):
+            assert record.addr == frame_base + offset
+            assert record.value == value
+        stamps = [r.timestamp for r in records]
+        assert stamps == sorted(stamps)
+        assert log.lost_records == 0
+    finally:
+        set_current_machine(None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=write_ops)
+def test_property_log_replay_reconstructs_state(ops):
+    """Replaying the log onto a checkpoint reproduces the final state.
+
+    This is the roll-forward operation of section 2.4: applying each
+    logged update to a copy of the initial state must yield exactly the
+    working segment's final contents.
+    """
+    from repro.core.segment import StdSegment
+
+    machine = boot(TEST_CONFIG)
+    try:
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine, size=PAGE_SIZE)
+        for offset, value, _ in ops:
+            proc.write(va + offset, value)
+        machine.quiesce()
+
+        replay = StdSegment(PAGE_SIZE, machine=machine)
+        frame_base = region.segment.page(0).frame.base_addr if ops else 0
+        for record in log.records():
+            replay.write(record.addr - frame_base, record.value, record.size)
+        assert replay.snapshot() == region.segment.snapshot()
+    finally:
+        set_current_machine(None)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=write_ops,
+    threshold=st.integers(4, 64),
+)
+def test_property_no_records_lost_under_overload(ops, threshold):
+    """Overload slows the machine down but never drops records."""
+    config = TEST_CONFIG.with_changes(
+        logger_fifo_capacity=2 * threshold, logger_overload_threshold=threshold
+    )
+    machine = boot(config)
+    try:
+        proc = machine.current_process
+        region, log, va = make_logged_region(machine, size=PAGE_SIZE)
+        for offset, value, _ in ops:
+            proc.write(va + offset, value)  # no gaps: maximum pressure
+        machine.quiesce()
+        assert log.record_count == len(ops)
+        assert log.lost_records == 0
+    finally:
+        set_current_machine(None)

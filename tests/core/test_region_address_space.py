@@ -1,0 +1,166 @@
+"""Unit tests: regions, binding, and the timed address-space path."""
+
+import pytest
+
+from repro.errors import BindError, LoggingError, RegionError
+from repro.core.address_space import AddressSpace
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+class TestRegionBinding:
+    def test_bind_allocates_va(self, machine, proc):
+        seg = StdSegment(2 * PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        assert va % PAGE_SIZE == 0
+        assert region.is_bound
+        assert region.base_va == va
+
+    def test_bind_at_explicit_address(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space(), 0x4000_0000)
+        assert va == 0x4000_0000
+
+    def test_double_bind_rejected(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        region.bind(proc.address_space())
+        with pytest.raises(BindError):
+            region.bind(proc.address_space())
+
+    def test_overlapping_bind_rejected(self, machine, proc):
+        aspace = proc.address_space()
+        seg = StdSegment(2 * PAGE_SIZE, machine=machine)
+        StdRegion(seg).bind(aspace, 0x4000_0000)
+        with pytest.raises(BindError):
+            StdRegion(StdSegment(PAGE_SIZE, machine=machine)).bind(
+                aspace, 0x4000_1000
+            )
+
+    def test_unaligned_bind_rejected(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        with pytest.raises(BindError):
+            StdRegion(seg).bind(proc.address_space(), 0x123)
+
+    def test_unbind(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        region.bind(proc.address_space())
+        region.unbind()
+        assert not region.is_bound
+        # The same region can be bound again.
+        region.bind(proc.address_space())
+
+    def test_unbind_unbound_rejected(self, machine):
+        region = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+        with pytest.raises(RegionError):
+            region.unbind()
+
+    def test_va_offset_roundtrip(self, machine, proc):
+        seg = StdSegment(2 * PAGE_SIZE, machine=machine)
+        region = StdRegion(seg)
+        va = region.bind(proc.address_space())
+        assert region.va_to_offset(va + 100) == 100
+        assert region.offset_to_va(100) == va + 100
+        with pytest.raises(RegionError):
+            region.va_to_offset(va - 4)
+
+    def test_two_address_spaces_same_segment(self, machine, proc):
+        """One segment may be mapped by several processes (section 2.1)."""
+        from repro.core.process import create_process
+
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        other = create_process(machine, cpu_index=1)
+        va1 = StdRegion(seg).bind(proc.address_space())
+        va2 = StdRegion(seg).bind(other.address_space())
+        proc.write(va1, 0x77)
+        assert other.read(va2) == 0x77
+
+    def test_log_requires_log_segment(self, machine):
+        region = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+        with pytest.raises(LoggingError):
+            region.log(StdSegment(PAGE_SIZE, machine=machine))
+
+    def test_second_log_rejected(self, machine):
+        region = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+        region.log(LogSegment(machine=machine))
+        with pytest.raises(LoggingError):
+            region.log(LogSegment(machine=machine))
+
+
+class TestTimedAccess:
+    def test_write_then_read(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        va = StdRegion(seg).bind(proc.address_space())
+        proc.write(va + 4, 123456)
+        assert proc.read(va + 4) == 123456
+        assert seg.read(4, 4) == 123456
+
+    def test_page_fault_charged_once(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        va = StdRegion(seg).bind(proc.address_space())
+        t0 = proc.now
+        proc.write(va, 1)
+        fault_cost = proc.now - t0
+        assert fault_cost >= machine.config.page_fault_cycles
+        t1 = proc.now
+        proc.write(va + 4, 2)
+        assert proc.now - t1 < machine.config.page_fault_cycles
+
+    def test_unmapped_address_faults_to_error(self, machine, proc):
+        from repro.errors import UnmappedAddressError
+
+        with pytest.raises(UnmappedAddressError):
+            proc.read(0x7777_0000)
+
+    def test_byte_helpers(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        va = StdRegion(seg).bind(proc.address_space())
+        proc.write_bytes(va + 3, b"hello world!")
+        assert proc.read_bytes(va + 3, 12) == b"hello world!"
+
+    def test_kernel_page_fault_counters(self, machine, proc):
+        seg = StdSegment(4 * PAGE_SIZE, machine=machine)
+        va = StdRegion(seg).bind(proc.address_space())
+        for i in range(4):
+            proc.write(va + i * PAGE_SIZE, i)
+        assert machine.kernel.stats.page_faults == 4
+
+
+class TestAddressSpaceResetDeferredCopy:
+    def test_reset_via_address_space(self, machine, proc):
+        src = StdSegment(2 * PAGE_SIZE, machine=machine)
+        src.write(8, 42, 4)
+        dst = StdSegment(2 * PAGE_SIZE, machine=machine)
+        dst.source_segment(src)
+        aspace = proc.address_space()
+        va = StdRegion(dst).bind(aspace)
+
+        proc.write(va + 8, 999)
+        assert proc.read(va + 8) == 999
+        stats = aspace.reset_deferred_copy(va, va + dst.size, cpu=proc.cpu)
+        assert stats.dirty_pages == 1
+        assert proc.read(va + 8) == 42
+
+    def test_reset_charges_cycles(self, machine, proc):
+        src = StdSegment(PAGE_SIZE, machine=machine)
+        dst = StdSegment(PAGE_SIZE, machine=machine)
+        dst.source_segment(src)
+        aspace = proc.address_space()
+        va = StdRegion(dst).bind(aspace)
+        t0 = proc.now
+        aspace.reset_deferred_copy(va, va + PAGE_SIZE, cpu=proc.cpu)
+        assert proc.now > t0
+
+    def test_reset_skips_non_dc_regions(self, machine, proc):
+        seg = StdSegment(PAGE_SIZE, machine=machine)
+        aspace = proc.address_space()
+        va = StdRegion(seg).bind(aspace)
+        proc.write(va, 5)
+        stats = aspace.reset_deferred_copy(va, va + PAGE_SIZE, cpu=proc.cpu)
+        assert stats.pages_scanned == 0
+        assert proc.read(va) == 5  # untouched

@@ -1,0 +1,109 @@
+"""Tests: the VM's write-protection machinery (section 5.1 extension)."""
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.hw.params import PAGE_SIZE
+
+
+def make_region(machine, proc, npages=4):
+    seg = StdSegment(npages * PAGE_SIZE, machine=machine)
+    region = StdRegion(seg)
+    va = region.bind(proc.address_space())
+    return region, va
+
+
+class TestProtection:
+    def test_protected_write_without_handler_raises(self, machine, proc):
+        region, va = make_region(machine, proc)
+        proc.write(va, 1)  # map the page first
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        with pytest.raises(ProtectionError):
+            proc.write(va, 2)
+        assert proc.read(va) == 1  # the store did not land
+
+    def test_reads_unaffected_by_protection(self, machine, proc):
+        region, va = make_region(machine, proc)
+        proc.write(va, 5)
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        assert proc.read(va) == 5
+
+    def test_handler_unprotects_and_write_proceeds(self, machine, proc):
+        region, va = make_region(machine, proc)
+        traps = []
+
+        def handler(reg, addr):
+            traps.append(addr)
+            reg.protected_pages.discard(reg.va_to_offset(addr) // PAGE_SIZE)
+
+        region.protection_handler = handler
+        proc.write(va, 1)
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        proc.write(va, 2)
+        assert proc.read(va) == 2
+        assert traps == [va]
+        # Second write to the now-unprotected page: no trap.
+        proc.write(va + 4, 3)
+        assert traps == [va]
+
+    def test_trap_charges_trap_cycles(self, machine, proc):
+        region, va = make_region(machine, proc)
+        region.protection_handler = lambda reg, addr: reg.protected_pages.clear()
+        proc.write(va, 1)
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        t0 = proc.now
+        proc.write(va, 2)
+        assert proc.now - t0 >= machine.config.protection_trap_cycles
+
+    def test_protection_applies_to_unmapped_pages_at_fault(self, machine, proc):
+        """Protecting a not-yet-faulted page takes effect when the PTE
+        is created."""
+        region, va = make_region(machine, proc)
+        proc.address_space().protect_range(
+            va + PAGE_SIZE, va + 2 * PAGE_SIZE, cpu=proc.cpu
+        )
+        with pytest.raises(ProtectionError):
+            proc.write(va + PAGE_SIZE, 1)
+
+    def test_unprotect_range(self, machine, proc):
+        region, va = make_region(machine, proc)
+        proc.write(va, 1)
+        aspace = proc.address_space()
+        aspace.protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        aspace.unprotect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        proc.write(va, 2)  # no trap
+        assert proc.read(va) == 2
+
+    def test_per_page_granularity(self, machine, proc):
+        region, va = make_region(machine, proc)
+        proc.write(va, 0)
+        proc.write(va + PAGE_SIZE, 0)
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        proc.write(va + PAGE_SIZE, 7)  # second page unprotected
+        with pytest.raises(ProtectionError):
+            proc.write(va, 7)
+
+    def test_protection_fault_counted(self, machine, proc):
+        region, va = make_region(machine, proc)
+        region.protection_handler = lambda reg, addr: reg.protected_pages.clear()
+        proc.write(va, 0)
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        proc.write(va, 1)
+        assert machine.kernel.stats.protection_faults == 1
+
+    def test_protection_composes_with_logging(self, machine, proc):
+        """A logged, protected page: the trap fires first; once the
+        handler unprotects, the store is logged normally."""
+        from repro.core.log_segment import LogSegment
+
+        region, va = make_region(machine, proc)
+        log = LogSegment(machine=machine)
+        region.log(log)
+        region.protection_handler = lambda reg, addr: reg.protected_pages.clear()
+        proc.write(va, 1)
+        proc.address_space().protect_range(va, va + PAGE_SIZE, cpu=proc.cpu)
+        proc.write(va, 2)
+        machine.quiesce()
+        assert [r.value for r in log.records()] == [1, 2]

@@ -1,0 +1,98 @@
+"""Calibration lock: the paper-pinned constants must never drift.
+
+Every number here is traceable to a sentence of the paper (see
+DESIGN.md section 1).  If a refactor changes one of these, the
+reproduction's claim to the paper's results is broken — this suite
+turns that into a loud failure instead of a quietly wrong benchmark.
+"""
+
+from repro.hw.params import (
+    LINE_SIZE,
+    LOG_RECORD_SIZE,
+    NEXT_GENERATION,
+    PAGE_SIZE,
+    PROTOTYPE,
+)
+
+
+class TestPaperConstants:
+    def test_machine_shape(self):
+        """Section 4.1: four 25 MHz CPUs; 40 ns cycles."""
+        assert PROTOTYPE.num_cpus == 4
+        assert PROTOTYPE.clock_hz == 25_000_000
+        assert PROTOTYPE.cycle_ns == 40.0
+
+    def test_memory_geometry(self):
+        """Section 3.1: 4 KB pages; section 4.1: 16-byte lines."""
+        assert PAGE_SIZE == 4096
+        assert LINE_SIZE == 16
+        assert LOG_RECORD_SIZE == 16
+
+    def test_table2_costs(self):
+        assert PROTOTYPE.write_through_total_cycles == 6
+        assert PROTOTYPE.write_through_bus_cycles == 5
+        assert PROTOTYPE.block_write_total_cycles == 9
+        assert PROTOTYPE.block_write_bus_cycles == 8
+        assert PROTOTYPE.log_dma_total_cycles == 18
+        assert PROTOTYPE.log_dma_bus_cycles == 8
+
+    def test_timestamp_rate(self):
+        """Section 3.1: 6.25 MHz timestamps = one tick per 4 cycles."""
+        assert PROTOTYPE.clock_hz / PROTOTYPE.timestamp_divider == 6_250_000
+
+    def test_logger_structures(self):
+        """Section 3.1: 819-entry FIFOs, 512 threshold, 5/15-bit PMT."""
+        assert PROTOTYPE.logger_fifo_capacity == 819
+        assert PROTOTYPE.logger_overload_threshold == 512
+        assert PROTOTYPE.pmt_tag_bits == 5
+        assert PROTOTYPE.pmt_index_bits == 15
+
+    def test_overload_stability_threshold(self):
+        """Section 4.5.3: stable at one logged write per 27 compute
+        cycles — service time balances c + 1-cycle store at c = 27."""
+        assert PROTOTYPE.logger_service_cycles == 28
+        assert (
+            PROTOTYPE.logger_service_cycles
+            - PROTOTYPE.cached_write_cycles
+            == 27
+        )
+
+    def test_overload_penalty_exceeds_30k(self):
+        """Section 4.5.3: overloading costs more than 30,000 cycles."""
+        drain = (
+            PROTOTYPE.logger_overload_threshold
+            * PROTOTYPE.logger_service_cycles
+        )
+        assert drain + PROTOTYPE.overload_suspend_cycles > 30_000
+
+    def test_protection_trap_cost(self):
+        """Section 5.1: a software write fault takes over 3,000 cycles."""
+        assert PROTOTYPE.protection_trap_cycles >= 3_000
+
+    def test_rvm_single_write_calibration(self):
+        """Table 3: 3,515 cycles per RVM recoverable write."""
+        from repro.rvm.rvm import (
+            REDO_RECORD_CYCLES,
+            SET_RANGE_CYCLES,
+            UNDO_COPY_PER_BLOCK_CYCLES,
+        )
+
+        one_word_write = (
+            SET_RANGE_CYCLES
+            + UNDO_COPY_PER_BLOCK_CYCLES  # one block
+            + REDO_RECORD_CYCLES
+            + PROTOTYPE.cached_write_cycles  # the store itself (L1 hit)
+        )
+        assert one_word_write == 3515
+
+    def test_next_generation_differs_only_in_logger(self):
+        """Section 4.6 changes where logging happens, not the machine."""
+        assert NEXT_GENERATION.on_chip_logger
+        assert not PROTOTYPE.on_chip_logger
+        assert NEXT_GENERATION.write_through_total_cycles == 6
+        assert NEXT_GENERATION.num_cpus == PROTOTYPE.num_cpus
+
+    def test_l2_model_defaults_off(self):
+        """The paper sizes experiments into the 4 MB L2 (section 4.1)."""
+        assert not PROTOTYPE.model_l2
+        assert PROTOTYPE.l2_bytes == 4 * 1024 * 1024

@@ -1,0 +1,107 @@
+"""Unit tests: cycle clock, timestamp counter, and hardware FIFOs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.clock import Clock
+from repro.hw.fifo import HardwareFifo
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance_moves_forward(self):
+        clock = Clock()
+        assert clock.advance_to(100) == 100
+        assert clock.now == 100
+
+    def test_advance_backwards_is_noop(self):
+        clock = Clock()
+        clock.advance_to(100)
+        clock.advance_to(50)
+        assert clock.now == 100
+
+    def test_timestamp_divides_by_four(self):
+        clock = Clock(timestamp_divider=4)
+        assert clock.timestamp(400) == 100
+        assert clock.timestamp(403) == 100
+        assert clock.timestamp(404) == 101
+
+    def test_timestamp_defaults_to_now(self):
+        clock = Clock(timestamp_divider=4)
+        clock.advance_to(40)
+        assert clock.timestamp() == 10
+
+    def test_reset(self):
+        clock = Clock()
+        clock.advance_to(10)
+        clock.reset()
+        assert clock.now == 0
+
+    def test_invalid_divider_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(timestamp_divider=0)
+
+
+class TestHardwareFifo:
+    def test_push_pop_fifo_order(self):
+        fifo = HardwareFifo(capacity=4)
+        fifo.push(1, "a")
+        fifo.push(2, "b")
+        assert fifo.pop() == (1, "a")
+        assert fifo.pop() == (2, "b")
+
+    def test_occupancy_and_len(self):
+        fifo = HardwareFifo(capacity=4)
+        assert not fifo
+        fifo.push(0, "x")
+        assert len(fifo) == 1
+        assert fifo.occupancy == 1
+        assert fifo
+
+    def test_threshold_crossing_reported(self):
+        fifo = HardwareFifo(capacity=10, threshold=2)
+        assert fifo.push(0, 1) is False
+        assert fifo.push(0, 2) is False
+        assert fifo.push(0, 3) is True  # above threshold
+        assert fifo.push(0, 4) is True
+
+    def test_default_threshold_is_capacity(self):
+        fifo = HardwareFifo(capacity=2)
+        assert fifo.push(0, 1) is False
+        assert fifo.push(0, 2) is False
+
+    def test_overflow_drops_and_counts(self):
+        fifo = HardwareFifo(capacity=2, threshold=1)
+        fifo.push(0, 1)
+        fifo.push(0, 2)
+        assert fifo.push(0, 3) is True
+        assert fifo.overflow_count == 1
+        assert len(fifo) == 2  # the third entry was lost
+
+    def test_high_water_mark(self):
+        fifo = HardwareFifo(capacity=8)
+        for i in range(5):
+            fifo.push(0, i)
+        fifo.pop()
+        fifo.pop()
+        assert fifo.high_water_mark == 5
+
+    def test_peek_does_not_remove(self):
+        fifo = HardwareFifo(capacity=2)
+        fifo.push(7, "v")
+        assert fifo.peek() == (7, "v")
+        assert len(fifo) == 1
+
+    def test_clear(self):
+        fifo = HardwareFifo(capacity=4)
+        fifo.push(0, 1)
+        fifo.clear()
+        assert not fifo
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareFifo(capacity=0)
+        with pytest.raises(ConfigError):
+            HardwareFifo(capacity=2, threshold=3)

@@ -1,0 +1,100 @@
+"""Unit tests: physical memory, frames, and the frame allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError, AlignmentError, FrameExhaustedError
+from repro.hw.memory import Frame, PhysicalMemory
+from repro.hw.params import PAGE_SIZE
+
+
+class TestFrame:
+    def test_zero_filled(self):
+        frame = Frame(0)
+        assert frame.read(0, 4) == 0
+        assert frame.read_bytes(0, PAGE_SIZE) == bytes(PAGE_SIZE)
+
+    def test_read_back_write(self):
+        frame = Frame(3)
+        frame.write(16, 0xCAFEBABE, 4)
+        assert frame.read(16, 4) == 0xCAFEBABE
+
+    def test_base_addr(self):
+        assert Frame(5).base_addr == 5 * PAGE_SIZE
+
+    def test_value_masked_to_size(self):
+        frame = Frame(0)
+        frame.write(0, 0x1FF, 1)
+        assert frame.read(0, 1) == 0xFF
+
+    @given(
+        offset=st.integers(0, PAGE_SIZE - 4).map(lambda x: x & ~3),
+        value=st.integers(0, 2**32 - 1),
+    )
+    def test_word_roundtrip_anywhere(self, offset, value):
+        frame = Frame(0)
+        frame.write(offset, value, 4)
+        assert frame.read(offset, 4) == value
+
+    def test_byte_string_roundtrip(self):
+        frame = Frame(0)
+        frame.write_bytes(100, b"hello world")
+        assert frame.read_bytes(100, 11) == b"hello world"
+
+
+class TestPhysicalMemory:
+    def test_allocate_distinct_frames(self):
+        mem = PhysicalMemory(num_frames=4)
+        frames = [mem.allocate_frame() for _ in range(4)]
+        assert len({f.number for f in frames}) == 4
+
+    def test_exhaustion(self):
+        mem = PhysicalMemory(num_frames=2)
+        mem.allocate_frame()
+        mem.allocate_frame()
+        with pytest.raises(FrameExhaustedError):
+            mem.allocate_frame()
+
+    def test_free_and_reuse(self):
+        mem = PhysicalMemory(num_frames=1)
+        frame = mem.allocate_frame()
+        mem.free_frame(frame)
+        again = mem.allocate_frame()
+        assert again.number == frame.number
+
+    def test_double_free_rejected(self):
+        mem = PhysicalMemory(num_frames=2)
+        frame = mem.allocate_frame()
+        mem.free_frame(frame)
+        with pytest.raises(AddressError):
+            mem.free_frame(frame)
+
+    def test_physically_addressed_rw(self):
+        mem = PhysicalMemory(num_frames=4)
+        frame = mem.allocate_frame()
+        paddr = frame.base_addr + 8
+        mem.write(paddr, 0x1234, 2)
+        assert mem.read(paddr, 2) == 0x1234
+
+    def test_unbacked_address_rejected(self):
+        mem = PhysicalMemory(num_frames=4)
+        with pytest.raises(AddressError):
+            mem.read(0, 4)
+
+    def test_misaligned_access_rejected(self):
+        mem = PhysicalMemory(num_frames=1)
+        frame = mem.allocate_frame()
+        with pytest.raises(AlignmentError):
+            mem.read(frame.base_addr + 2, 4)
+
+    def test_cross_page_access_rejected(self):
+        mem = PhysicalMemory(num_frames=2)
+        frame = mem.allocate_frame()
+        with pytest.raises(AddressError):
+            mem.write_bytes(frame.base_addr + PAGE_SIZE - 2, b"abcd")
+
+    def test_frames_allocated_counter(self):
+        mem = PhysicalMemory(num_frames=8)
+        assert mem.frames_allocated == 0
+        mem.allocate_frame()
+        assert mem.frames_allocated == 1

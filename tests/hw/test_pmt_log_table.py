@@ -1,0 +1,127 @@
+"""Unit tests: page mapping table and log table (section 3.1.1)."""
+
+import pytest
+
+from repro.errors import LoggingError
+from repro.hw.log_table import LogTable
+from repro.hw.page_mapping_table import PageMappingTable
+from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
+
+
+class TestPageMappingTable:
+    def test_miss_on_empty(self):
+        pmt = PageMappingTable()
+        assert pmt.lookup(0x1000) is None
+        assert pmt.miss_count == 1
+
+    def test_load_then_hit(self):
+        pmt = PageMappingTable()
+        pmt.load(0x1000, log_index=1)
+        assert pmt.lookup(0x1000) == 1
+        assert pmt.lookup(0x1FFF) == 1  # same page
+
+    def test_paper_example(self):
+        """Figure 6: pages 0x1xxx and 0x2xxx both map to log 1."""
+        pmt = PageMappingTable()
+        pmt.load(0x1000, 1)
+        pmt.load(0x2000, 1)
+        assert pmt.lookup(0x1234) == 1
+        assert pmt.lookup(0x2234) == 1
+
+    def test_direct_mapped_eviction(self):
+        """Two pages with the same index but different tags conflict."""
+        pmt = PageMappingTable(index_bits=15, tag_bits=5)
+        stride = PAGE_SIZE << 15  # same index, next tag
+        pmt.load(0x0000, 1)
+        evicted = pmt.load(stride, 2)
+        assert evicted is not None
+        assert evicted.log_index == 1
+        assert pmt.lookup(0x0000) is None
+        assert pmt.lookup(stride) == 2
+        assert pmt.eviction_count == 1
+
+    def test_reload_same_entry_not_eviction(self):
+        pmt = PageMappingTable()
+        pmt.load(0x1000, 1)
+        assert pmt.load(0x1000, 1) is None
+        assert pmt.eviction_count == 0
+
+    def test_invalidate(self):
+        pmt = PageMappingTable()
+        pmt.load(0x1000, 1)
+        pmt.invalidate(0x1000)
+        assert pmt.lookup(0x1000) is None
+
+    def test_invalidate_wrong_tag_keeps_entry(self):
+        pmt = PageMappingTable(index_bits=15, tag_bits=5)
+        stride = PAGE_SIZE << 15
+        pmt.load(0x0000, 1)
+        pmt.invalidate(stride)  # same index, different tag
+        assert pmt.lookup(0x0000) == 1
+
+    def test_invalidate_log(self):
+        pmt = PageMappingTable()
+        pmt.load(0x1000, 1)
+        pmt.load(0x2000, 1)
+        pmt.load(0x3000, 2)
+        pmt.invalidate_log(1)
+        assert pmt.lookup(0x1000) is None
+        assert pmt.lookup(0x3000) == 2
+        assert len(pmt) == 1
+
+
+class TestLogTable:
+    def test_allocate_index_sequential(self):
+        table = LogTable(4)
+        a = table.allocate_index()
+        table.load(a, 0)
+        b = table.allocate_index()
+        assert a != b
+
+    def test_table_full(self):
+        table = LogTable(1)
+        table.load(table.allocate_index(), 0)
+        with pytest.raises(LoggingError):
+            table.allocate_index()
+
+    def test_advance_returns_then_bumps(self):
+        """Paper's Figure 6 example: log 1 appends at 0x7d20."""
+        table = LogTable()
+        table.load(1, 0x7D20)
+        assert table.advance(1) == 0x7D20
+        assert table.get(1).log_address == 0x7D20 + LOG_RECORD_SIZE
+
+    def test_page_boundary_invalidates(self):
+        table = LogTable()
+        table.load(0, PAGE_SIZE - LOG_RECORD_SIZE)
+        table.advance(0)
+        assert not table.is_ready(0)
+        with pytest.raises(LoggingError):
+            table.advance(0)
+
+    def test_records_per_page(self):
+        table = LogTable()
+        table.load(0, 0)
+        count = 0
+        while table.is_ready(0):
+            table.advance(0)
+            count += 1
+        assert count == PAGE_SIZE // LOG_RECORD_SIZE
+
+    def test_unaligned_load_rejected(self):
+        table = LogTable()
+        with pytest.raises(LoggingError):
+            table.load(0, 7)
+
+    def test_unload_returns_state(self):
+        table = LogTable()
+        table.load(0, 0x1000)
+        table.advance(0)
+        entry = table.unload(0)
+        assert entry.log_address == 0x1000 + LOG_RECORD_SIZE
+        assert table.get(0) is None
+
+    def test_out_of_range_index(self):
+        table = LogTable(2)
+        with pytest.raises(LoggingError):
+            table.load(5, 0)

@@ -1,0 +1,81 @@
+"""Unit tests: 16-byte log record format and the extended format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LoggingError
+from repro.hw.records import (
+    EXTENDED_RECORD_SIZE,
+    FLAG_EXTENDED,
+    FLAG_VIRTUAL_ADDR,
+    ExtendedLogRecord,
+    LogRecord,
+    decode_extended_record,
+    decode_record,
+    decode_records,
+    encode_extended_record,
+    encode_record,
+)
+
+word = st.integers(0, 2**32 - 1)
+sizes = st.sampled_from([1, 2, 4])
+
+
+class TestLogRecord:
+    def test_encode_is_16_bytes(self):
+        assert len(LogRecord(0, 0, 4, 0).encode()) == 16
+
+    @given(addr=word, value=word, size=sizes, ts=word)
+    def test_roundtrip(self, addr, value, size, ts):
+        record = LogRecord(addr, value, size, ts)
+        assert decode_record(record.encode()) == record
+
+    def test_paper_example_fields(self):
+        """Section 3.1.1: write of 0x4321 to 0x2340 logged with size 4."""
+        record = decode_record(encode_record(0x2340, 0x4321, 4, 99))
+        assert record.addr == 0x2340
+        assert record.value == 0x4321
+        assert record.size == 4
+        assert record.timestamp == 99
+
+    def test_virtual_flag(self):
+        record = decode_record(encode_record(0, 0, 4, 0, FLAG_VIRTUAL_ADDR))
+        assert record.is_virtual
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(LoggingError):
+            LogRecord(0, 0, 3, 0).encode()
+
+    def test_decode_records_stream(self):
+        data = encode_record(0, 1, 4, 10) + encode_record(4, 2, 4, 11)
+        records = list(decode_records(data))
+        assert [r.value for r in records] == [1, 2]
+        assert [r.timestamp for r in records] == [10, 11]
+
+    def test_decode_records_bad_length(self):
+        with pytest.raises(LoggingError):
+            list(decode_records(b"\x00" * 15))
+
+
+class TestExtendedRecord:
+    def test_encode_is_24_bytes(self):
+        rec = ExtendedLogRecord(0, 0, 4, 0, old_value=1, pc=2)
+        assert len(rec.encode()) == EXTENDED_RECORD_SIZE
+
+    @given(addr=word, value=word, size=sizes, ts=word, old=word, pc=word)
+    def test_roundtrip(self, addr, value, size, ts, old, pc):
+        data = encode_extended_record(addr, value, size, ts, old, pc)
+        rec = decode_extended_record(data)
+        assert (rec.addr, rec.value, rec.size, rec.timestamp) == (
+            addr,
+            value,
+            size,
+            ts,
+        )
+        assert (rec.old_value, rec.pc) == (old, pc)
+        assert rec.flags & FLAG_EXTENDED
+
+    def test_decode_requires_extended_flag(self):
+        plain = encode_record(0, 0, 4, 0) + b"\x00" * 8
+        with pytest.raises(LoggingError):
+            decode_extended_record(plain)

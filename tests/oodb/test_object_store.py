@@ -1,0 +1,236 @@
+"""Tests: the memory-mapped object database (schema, CRUD, ACID)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oodb import Handle, ObjectStore, ObjectType, SchemaError, StoreError
+from repro.oodb.store import HEADER_BYTES
+
+
+def customer_type():
+    return ObjectType("Customer", [("balance", "u32"), ("visits", "u16"),
+                                   ("tier", "u8"), ("friend", "oid")])
+
+
+def order_type():
+    return ObjectType("Order", [("amount", "u32"), ("customer", "oid")])
+
+
+@pytest.fixture
+def store(machine, proc):
+    return ObjectStore(proc, size=1 << 18, types=[customer_type(), order_type()])
+
+
+class TestSchema:
+    def test_field_offsets_aligned(self):
+        t = customer_type()
+        assert t.field("balance").offset == 8  # after the 2 header words
+        assert t.field("visits").offset == 12
+        assert t.field("tier").offset == 14
+        assert t.field("friend").offset == 16
+        assert t.size % 16 == 0
+
+    def test_unknown_field_kind(self):
+        with pytest.raises(SchemaError):
+            ObjectType("Bad", [("x", "f64")])
+
+    def test_duplicate_field(self):
+        with pytest.raises(SchemaError):
+            ObjectType("Bad", [("x", "u32"), ("x", "u32")])
+
+    def test_unknown_field_access(self, store):
+        with store.transaction() as txn:
+            c = store.new(txn, store._types[0])
+        with pytest.raises(SchemaError):
+            c.get("nonexistent")
+
+
+class TestCrud:
+    def test_create_and_read(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=100, visits=3, tier=2)
+        assert c.get("balance") == 100
+        assert c.get("visits") == 3
+        assert c.get("tier") == 2
+        assert c.type is ctype
+
+    def test_update_in_transaction(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=10)
+        with store.transaction() as txn:
+            c.set(txn, "balance", 20)
+        assert c.get("balance") == 20
+
+    def test_references_between_objects(self, store):
+        ctype, otype = store._types
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=5)
+            o = store.new(txn, otype, amount=99, customer=c.oid)
+        assert o.deref("customer") == c
+        assert o.deref("customer").get("balance") == 5
+
+    def test_deref_non_oid_field_rejected(self, store):
+        with store.transaction() as txn:
+            c = store.new(txn, store._types[0])
+        with pytest.raises(SchemaError):
+            c.deref("balance")
+
+    def test_null_reference(self, store):
+        with store.transaction() as txn:
+            c = store.new(txn, store._types[0])
+        assert c.deref("friend") is None
+
+    def test_iteration_and_count(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            handles = [store.new(txn, ctype, balance=i) for i in range(5)]
+        assert store.count(ctype) == 5
+        # Newest first.
+        assert [h.get("balance") for h in store.objects(ctype)] == [4, 3, 2, 1, 0]
+        assert store.count(store._types[1]) == 0
+
+    def test_root_object(self, store):
+        ctype = store._types[0]
+        assert store.root() is None
+        with store.transaction() as txn:
+            c = store.new(txn, ctype)
+            store.set_root(txn, c)
+        assert store.root() == c
+
+    def test_unregistered_type_rejected(self, store):
+        ghost = ObjectType("Ghost", [("x", "u32")])
+        with store.transaction() as txn:
+            with pytest.raises(StoreError):
+                store.new(txn, ghost)
+            txn.abort()
+
+    def test_store_full(self, machine, proc):
+        tiny = ObjectStore(proc, size=HEADER_BYTES + 32,
+                           types=[customer_type()])
+        ctype = tiny._types[0]
+        with tiny.transaction() as txn:
+            tiny.new(txn, ctype)
+            with pytest.raises(StoreError):
+                tiny.new(txn, ctype)
+            txn.abort()
+
+
+class TestAtomicity:
+    def test_abort_rolls_back_field_updates(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=100)
+        txn = store.rlvm.begin()
+        c.set(txn, "balance", 999)
+        txn.abort()
+        assert c.get("balance") == 100
+
+    def test_abort_rolls_back_allocation(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            store.new(txn, ctype)
+        txn = store.rlvm.begin()
+        store.new(txn, ctype)
+        store.new(txn, ctype)
+        txn.abort()
+        assert store.count(ctype) == 1  # the two new ones vanished
+        # And the storage was reclaimed: the next object reuses it.
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=7)
+        assert store.count(ctype) == 2
+        assert c.get("balance") == 7
+
+    def test_exception_in_transaction_aborts(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=50)
+        with pytest.raises(RuntimeError):
+            with store.transaction() as txn:
+                c.set(txn, "balance", 0)
+                raise RuntimeError("business rule violated")
+        assert c.get("balance") == 50
+
+
+class TestDurability:
+    def test_committed_objects_survive_crash(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=123, tier=1)
+            store.set_root(txn, c)
+        recovered = store.crash_and_recover()
+        root = recovered.root()
+        assert root is not None
+        assert root.get("balance") == 123
+        assert root.get("tier") == 1
+        assert recovered.count(recovered._types[0]) == 1
+
+    def test_inflight_transaction_lost_on_crash(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            store.new(txn, ctype, balance=1)
+        txn = store.rlvm.begin()
+        store.new(txn, ctype, balance=2)  # never committed
+        recovered = store.crash_and_recover()
+        assert recovered.count(recovered._types[0]) == 1
+
+    def test_crash_after_checkpoint(self, store):
+        ctype = store._types[0]
+        with store.transaction() as txn:
+            store.new(txn, ctype, balance=11)
+        store.checkpoint()
+        recovered = store.crash_and_recover()
+        objs = list(recovered.objects(recovered._types[0]))
+        assert [o.get("balance") for o in objs] == [11]
+
+    def test_references_survive_crash(self, store):
+        ctype, otype = store._types
+        with store.transaction() as txn:
+            c = store.new(txn, ctype, balance=5)
+            o = store.new(txn, otype, amount=42, customer=c.oid)
+            store.set_root(txn, o)
+        recovered = store.crash_and_recover()
+        order = recovered.root()
+        assert order.get("amount") == 42
+        assert order.deref("customer").get("balance") == 5
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.booleans(),  # commit?
+            st.lists(st.integers(0, 2**31), min_size=1, max_size=4),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_oodb_acid(script):
+    """Committed objects (and only those) survive a crash, with their
+    committed field values."""
+    from conftest import TEST_CONFIG
+    from repro.core.context import boot, set_current_machine
+
+    machine = boot(TEST_CONFIG)
+    try:
+        proc = machine.current_process
+        ctype = ObjectType("Thing", [("value", "u32")])
+        store = ObjectStore(proc, size=1 << 18, types=[ctype])
+        committed = []  # list of field values, in creation order
+        for commit, values in script:
+            txn = store.rlvm.begin()
+            for v in values:
+                store.new(txn, ctype, value=v)
+            if commit:
+                txn.commit()
+                committed.extend(values)
+            else:
+                txn.abort()
+        recovered = store.crash_and_recover()
+        rtype = recovered._types[0]
+        got = [h.get("value") for h in recovered.objects(rtype)]
+        assert got == list(reversed(committed))
+    finally:
+        set_current_machine(None)

@@ -1,0 +1,102 @@
+"""Property-based ACID tests: random transaction mixes + crash injection.
+
+For any random sequence of transactions (each committing or aborting),
+with a crash injected at an arbitrary point:
+
+* committed effects survive recovery (durability);
+* aborted and in-flight effects do not (atomicity);
+* RVM and RLVM arrive at identical durable states (equivalence).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import TEST_CONFIG
+from repro.core.context import boot, set_current_machine
+from repro.rvm.rlvm import RLVM
+from repro.rvm.rvm import RVM
+
+SEG_BYTES = 4096
+
+txn_strategy = st.lists(
+    st.tuples(
+        st.booleans(),  # commit?
+        st.lists(
+            st.tuples(
+                st.integers(0, SEG_BYTES // 4 - 1),  # word index
+                st.integers(0, 2**32 - 1),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def run_workload(backend_cls, proc, script, crash_after):
+    """Run transactions; crash after ``crash_after`` txns; recover.
+
+    Returns (recovered durable words, expected words) where expected is
+    computed from the committed prefix.
+    """
+    backend = backend_cls(proc)
+    va = backend.map("db", SEG_BYTES)
+    expected = {}  # durable committed state, word index -> value
+    for i, (commit, writes) in enumerate(script):
+        crashed_mid_txn = i == crash_after
+        txn = backend.begin()
+        for word, value in writes:
+            if backend_cls is RVM:
+                txn.set_range(va + 4 * word, 4)
+            txn.write(va + 4 * word, value)
+        if crashed_mid_txn:
+            break  # crash with this transaction in flight
+        if commit:
+            txn.commit()
+            for word, value in writes:
+                expected[word] = value
+        else:
+            txn.abort()
+    recovered = backend.crash_and_recover()
+    rseg = recovered.segments["db"]
+    base = rseg.data_va if hasattr(rseg, "data_va") else rseg.base_va
+    got = {w: proc.read(base + 4 * w) for w in expected}
+    return got, expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=txn_strategy, crash_at=st.integers(0, 8))
+def test_property_rvm_acid(script, crash_at):
+    machine = boot(TEST_CONFIG)
+    try:
+        got, expected = run_workload(RVM, machine.current_process, script, crash_at)
+        assert got == expected
+    finally:
+        set_current_machine(None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=txn_strategy, crash_at=st.integers(0, 8))
+def test_property_rlvm_acid(script, crash_at):
+    machine = boot(TEST_CONFIG)
+    try:
+        got, expected = run_workload(RLVM, machine.current_process, script, crash_at)
+        assert got == expected
+    finally:
+        set_current_machine(None)
+
+
+@settings(max_examples=20, deadline=None)
+@given(script=txn_strategy)
+def test_property_rvm_rlvm_durable_equivalence(script):
+    """Both libraries recover to the same durable state."""
+    machine = boot(TEST_CONFIG)
+    try:
+        proc = machine.current_process
+        got_rvm, exp_rvm = run_workload(RVM, proc, script, crash_after=len(script))
+        got_rlvm, exp_rlvm = run_workload(RLVM, proc, script, crash_after=len(script))
+        assert exp_rvm == exp_rlvm
+        assert got_rvm == got_rlvm
+    finally:
+        set_current_machine(None)

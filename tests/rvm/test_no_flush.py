@@ -1,0 +1,90 @@
+"""Tests: Coda-style no-flush (lazy) commits in RVM and RLVM."""
+
+import pytest
+
+from repro.rvm.rlvm import RLVM
+from repro.rvm.rvm import RVM
+
+
+def do_commit(backend, va, value, flush):
+    txn = backend.begin()
+    if isinstance(backend, RVM):
+        txn.set_range(va, 4)
+    txn.write(va, value)
+    txn.commit(flush=flush)
+
+
+@pytest.mark.parametrize("backend_cls", [RVM, RLVM])
+class TestNoFlushCommit:
+    def test_effects_visible_immediately(self, machine, proc, backend_cls):
+        backend = backend_cls(proc)
+        va = backend.map("db", 4096)
+        do_commit(backend, va, 7, flush=False)
+        assert proc.read(va) == 7
+        assert backend.pending_commits == 1
+
+    def test_lost_on_crash_before_flush(self, machine, proc, backend_cls):
+        backend = backend_cls(proc)
+        va = backend.map("db", 4096)
+        do_commit(backend, va, 1, flush=True)
+        do_commit(backend, va, 2, flush=False)  # never flushed
+        recovered = backend.crash_and_recover()
+        rseg = recovered.segments["db"]
+        base = rseg.data_va if hasattr(rseg, "data_va") else rseg.base_va
+        assert proc.read(base) == 1  # the lazy commit evaporated
+
+    def test_durable_after_flush(self, machine, proc, backend_cls):
+        backend = backend_cls(proc)
+        va = backend.map("db", 4096)
+        do_commit(backend, va, 9, flush=False)
+        backend.flush()
+        assert backend.pending_commits == 0
+        recovered = backend.crash_and_recover()
+        rseg = recovered.segments["db"]
+        base = rseg.data_va if hasattr(rseg, "data_va") else rseg.base_va
+        assert proc.read(base) == 9
+
+    def test_flush_batches_io(self, machine, proc, backend_cls):
+        """Ten lazy commits flush in one disk operation, vs ~20 for
+        eager commits."""
+        backend = backend_cls(proc)
+        va = backend.map("db", 4096)
+        ops_before = backend.disk.write_ops
+        for i in range(10):
+            do_commit(backend, va + 4 * i, i, flush=False)
+        assert backend.disk.write_ops == ops_before
+        backend.flush()
+        assert backend.disk.write_ops == ops_before + 1
+
+    def test_no_flush_commit_is_much_cheaper(self, machine, proc, backend_cls):
+        backend = backend_cls(proc)
+        va = backend.map("db", 4096)
+        do_commit(backend, va, 0, flush=True)  # warm everything
+
+        t0 = proc.now
+        do_commit(backend, va, 1, flush=True)
+        eager = proc.now - t0
+
+        t0 = proc.now
+        do_commit(backend, va, 2, flush=False)
+        lazy = proc.now - t0
+        assert lazy < eager / 5
+
+    def test_flush_ordering_preserved(self, machine, proc, backend_cls):
+        """Later lazy commits override earlier ones after recovery."""
+        backend = backend_cls(proc)
+        va = backend.map("db", 4096)
+        for value in (10, 20, 30):
+            do_commit(backend, va, value, flush=False)
+        backend.flush()
+        recovered = backend.crash_and_recover()
+        rseg = recovered.segments["db"]
+        base = rseg.data_va if hasattr(rseg, "data_va") else rseg.base_va
+        assert proc.read(base) == 30
+
+    def test_empty_flush_is_free(self, machine, proc, backend_cls):
+        backend = backend_cls(proc)
+        backend.map("db", 4096)
+        ops = backend.disk.write_ops
+        backend.flush()
+        assert backend.disk.write_ops == ops

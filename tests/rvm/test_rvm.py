@@ -1,0 +1,156 @@
+"""Unit tests: the Coda-style RVM baseline library."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.rvm.rvm import RVM
+
+
+@pytest.fixture
+def rvm(machine, proc):
+    return RVM(proc)
+
+
+class TestRvmTransactions:
+    def test_commit_persists(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 42)
+        txn.commit()
+        assert proc.read(va) == 42
+        assert rvm.committed_count == 1
+
+    def test_abort_restores_old_values(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 1)
+        txn.commit()
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 99)
+        assert proc.read(va) == 99
+        txn.abort()
+        assert proc.read(va) == 1
+
+    def test_write_without_set_range_rejected(self, rvm):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        with pytest.raises(TransactionError):
+            txn.write(va, 1)
+
+    def test_unsafe_write_not_undone(self, rvm, proc):
+        """The missed-annotation hazard: abort silently misses it."""
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 1)
+        txn.unsafe_write(va + 8, 77)  # forgot set_range
+        txn.abort()
+        assert proc.read(va) == 0  # properly undone
+        assert proc.read(va + 8) == 77  # corruption survives
+
+    def test_set_range_cost_is_table3(self, rvm, proc):
+        """Table 3: a single recoverable write costs 3,515 cycles."""
+        va = rvm.map("db", 4096)
+        proc.read(va)  # fault the page in first
+        txn = rvm.begin()
+        t0 = proc.now
+        txn.set_range(va, 4)
+        txn.write(va, 42)
+        assert proc.now - t0 == 3515
+        txn.commit()
+
+    def test_one_txn_at_a_time(self, rvm):
+        rvm.map("db", 4096)
+        rvm.begin()
+        with pytest.raises(TransactionError):
+            rvm.begin()
+
+    def test_finished_txn_unusable(self, rvm):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.set_range(va, 4)
+
+    def test_duplicate_map_rejected(self, rvm):
+        rvm.map("db", 4096)
+        with pytest.raises(TransactionError):
+            rvm.map("db", 4096)
+
+    def test_write_outside_recoverable_memory_rejected(self, rvm):
+        rvm.map("db", 4096)
+        txn = rvm.begin()
+        with pytest.raises(TransactionError):
+            txn.set_range(0x9999_0000, 4)
+
+    def test_multiple_segments(self, rvm, proc):
+        va1 = rvm.map("a", 4096)
+        va2 = rvm.map("b", 4096)
+        txn = rvm.begin()
+        txn.set_range(va1, 4)
+        txn.set_range(va2, 4)
+        txn.write(va1, 1)
+        txn.write(va2, 2)
+        txn.commit()
+        assert proc.read(va1) == 1
+        assert proc.read(va2) == 2
+
+
+class TestRvmRecovery:
+    def test_committed_survives_crash(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 1234)
+        txn.commit()
+        recovered = rvm.crash_and_recover()
+        va2 = recovered.segments["db"].base_va
+        assert proc.read(va2) == 1234
+
+    def test_uncommitted_lost_on_crash(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 1)
+        txn.commit()
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 999)  # never committed
+        recovered = rvm.crash_and_recover()
+        va2 = recovered.segments["db"].base_va
+        assert proc.read(va2) == 1
+
+    def test_crash_after_truncate(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 7)
+        txn.commit()
+        rvm.truncate()
+        recovered = rvm.crash_and_recover()
+        va2 = recovered.segments["db"].base_va
+        assert proc.read(va2) == 7
+
+    def test_truncate_resets_wal(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        txn = rvm.begin()
+        txn.set_range(va, 4)
+        txn.write(va, 7)
+        txn.commit()
+        assert rvm.wal.tail > 0
+        rvm.truncate()
+        assert rvm.wal.tail == 0
+
+    def test_recovery_is_idempotent_with_repeated_commits(self, rvm, proc):
+        va = rvm.map("db", 4096)
+        for value in (5, 6, 7):
+            txn = rvm.begin()
+            txn.set_range(va, 4)
+            txn.write(va, value)
+            txn.commit()
+        recovered = rvm.crash_and_recover()
+        va2 = recovered.segments["db"].base_va
+        assert proc.read(va2) == 7

@@ -1,0 +1,80 @@
+"""TPC-A workload tests: correctness and the Table 3 throughput shape."""
+
+import pytest
+
+from repro.rvm.rlvm import RLVM
+from repro.rvm.rvm import RVM
+from repro.rvm.tpca import TPCABenchmark, TPCAConfig
+
+SMALL = TPCAConfig(n_branches=2, tellers_per_branch=3, accounts_per_branch=50)
+
+
+class TestTpcaCorrectness:
+    def test_balances_stay_consistent_rvm(self, machine, proc):
+        bench = TPCABenchmark(RVM(proc), SMALL)
+        bench.run(30)
+        assert bench.is_consistent()
+
+    def test_balances_stay_consistent_rlvm(self, machine, proc):
+        bench = TPCABenchmark(RLVM(proc), SMALL)
+        bench.run(30)
+        assert bench.is_consistent()
+
+    def test_balances_survive_crash(self, machine, proc):
+        bench = TPCABenchmark(RLVM(proc), SMALL)
+        bench.run(10)
+        acc, tel, brn = bench.balances()
+        recovered = bench.backend.crash_and_recover()
+        rseg = recovered.segments["tpca"]
+        # Rebuild a read-only view over the recovered segment.
+        bench2 = object.__new__(TPCABenchmark)
+        bench2.backend = recovered
+        bench2.config = SMALL
+        bench2._is_rvm = False
+        bench2._layout()
+        assert bench2.is_consistent()
+        assert bench2.balances() == (acc, tel, brn)
+
+    def test_deterministic_given_seed(self, machine, proc):
+        b1 = TPCABenchmark(RVM(proc), SMALL)
+        r1 = b1.run(20)
+        assert b1.balances() == b1.balances()
+        assert r1.transactions == 20
+
+
+class TestTpcaThroughputShape:
+    """Table 3: 418 tps (RVM) vs 552 tps (RLVM) at 25 MHz."""
+
+    def test_rvm_throughput_near_paper(self, machine, proc):
+        res = TPCABenchmark(RVM(proc)).run(60)
+        assert res.tps == pytest.approx(418, rel=0.10)
+
+    def test_rlvm_throughput_near_paper(self, machine, proc):
+        res = TPCABenchmark(RLVM(proc)).run(60)
+        assert res.tps == pytest.approx(552, rel=0.10)
+
+    def test_rlvm_beats_rvm_by_paper_ratio(self, machine, proc):
+        rvm_res = TPCABenchmark(RVM(proc)).run(40)
+        rlvm_res = TPCABenchmark(RLVM(proc)).run(40)
+        ratio = rlvm_res.tps / rvm_res.tps
+        assert ratio == pytest.approx(552 / 418, rel=0.10)
+
+    def test_rvm_in_txn_fraction_about_quarter(self, machine, proc):
+        """'Only about 25% of the CPU time in RVM is actually spent
+        inside the transaction.'"""
+        res = TPCABenchmark(RVM(proc)).run(40)
+        assert 0.15 <= res.in_txn_fraction <= 0.35
+
+    def test_rlvm_in_txn_fraction_under_one_percent(self, machine, proc):
+        """'It does reduce the time TPC-A spends inside the transaction
+        to less than 1% of the benchmark's total runtime.'"""
+        res = TPCABenchmark(RLVM(proc)).run(40)
+        assert res.in_txn_fraction < 0.015
+
+    def test_commit_truncate_costs_similar_across_backends(self, machine, proc):
+        """'RLVM does not reduce these costs.'"""
+        rvm_res = TPCABenchmark(RVM(proc)).run(40)
+        rlvm_res = TPCABenchmark(RLVM(proc)).run(40)
+        rvm_ct = rvm_res.commit_truncate_cycles / rvm_res.transactions
+        rlvm_ct = rlvm_res.commit_truncate_cycles / rlvm_res.transactions
+        assert rlvm_ct == pytest.approx(rvm_ct, rel=0.15)

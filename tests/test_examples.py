@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; these tests keep them
+green as the library evolves.  Each runs in-process (fresh machine
+context) with stdout captured.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+from repro.core.context import set_current_machine
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    set_current_machine(None)
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    finally:
+        set_current_machine(None)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_discovered():
+    # Guard against the glob silently matching nothing.
+    assert len(EXAMPLES) >= 9

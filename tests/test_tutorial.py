@@ -1,0 +1,37 @@
+"""The tutorial's runnable snippets must actually run.
+
+Extracts the ```python blocks from docs/TUTORIAL.md and executes them
+sequentially in one namespace (they build on each other, as a reader
+typing along would experience).  Blocks containing ellipses are
+illustrative and skipped.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.core.context import set_current_machine
+
+TUTORIAL = pathlib.Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def python_blocks():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+    return [b for b in blocks if "..." not in b and "pip install" not in b]
+
+
+def test_tutorial_snippets_run(capsys):
+    blocks = python_blocks()
+    assert len(blocks) >= 6, "tutorial lost its runnable snippets"
+    set_current_machine(None)
+    namespace: dict = {}
+    try:
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - failure path
+                pytest.fail(f"tutorial block {i} failed: {exc}\n---\n{block}")
+    finally:
+        set_current_machine(None)

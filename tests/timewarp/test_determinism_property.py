@@ -1,0 +1,53 @@
+"""Property test: Time Warp determinism.
+
+For any PHOLD configuration, scheduler count, state saver, and message
+latency, the optimistic execution commits exactly the events the
+sequential reference processes, and ends in exactly its final state.
+This is the fundamental Time Warp correctness property (section 2.4's
+rollback mechanism is what enforces it).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import boot, set_current_machine
+from repro.hw.params import MachineConfig
+from repro.timewarp import PholdModel, SequentialSimulation, TimeWarpSimulation
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    num_objects=st.integers(2, 8),
+    population=st.integers(1, 8),
+    max_delay=st.integers(1, 9),
+    n_sched=st.integers(1, 4),
+    saver=st.sampled_from(["copy", "lvm"]),
+    latency=st.sampled_from([50, 400, 1500]),
+    end_time=st.integers(20, 100),
+)
+def test_property_optimistic_equals_sequential(
+    seed, num_objects, population, max_delay, n_sched, saver, latency, end_time
+):
+    model_args = dict(
+        num_objects=num_objects,
+        population=population,
+        max_delay=max_delay,
+        seed=seed,
+    )
+    seq = SequentialSimulation(PholdModel(**model_args), end_time).run()
+
+    machine = boot(MachineConfig(num_cpus=n_sched, memory_bytes=128 * 1024 * 1024))
+    try:
+        sim = TimeWarpSimulation(
+            PholdModel(**model_args),
+            end_time=end_time,
+            saver=saver,
+            n_schedulers=n_sched,
+            machine=machine,
+            latency_cycles=latency,
+        )
+        res = sim.run()
+        assert res.events_committed == seq.events_processed
+        assert res.final_state == seq.final_state
+    finally:
+        set_current_machine(None)

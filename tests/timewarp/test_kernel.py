@@ -1,0 +1,141 @@
+"""Integration tests: the Time Warp executive against the sequential
+reference, under both state savers and various machine shapes."""
+
+import pytest
+
+from repro.core.context import boot, set_current_machine
+from repro.hw.params import MachineConfig
+from repro.timewarp import (
+    PholdModel,
+    SequentialSimulation,
+    SyntheticModel,
+    TimeWarpSimulation,
+)
+
+
+def fresh_machine(n_cpus):
+    return boot(MachineConfig(num_cpus=n_cpus, memory_bytes=128 * 1024 * 1024))
+
+
+def run_optimistic(model, end_time, saver, n_sched, **kw):
+    machine = fresh_machine(n_sched)
+    try:
+        sim = TimeWarpSimulation(
+            model, end_time=end_time, saver=saver,
+            n_schedulers=n_sched, machine=machine, **kw,
+        )
+        return sim.run()
+    finally:
+        set_current_machine(None)
+
+
+def phold(**kw):
+    defaults = dict(num_objects=6, population=6, max_delay=5, seed=11)
+    defaults.update(kw)
+    return PholdModel(**defaults)
+
+
+class TestAgainstSequential:
+    @pytest.mark.parametrize("saver", ["copy", "lvm"])
+    @pytest.mark.parametrize("n_sched", [1, 2, 3])
+    def test_phold_matches_sequential(self, saver, n_sched):
+        seq = SequentialSimulation(phold(), end_time=80).run()
+        res = run_optimistic(phold(), 80, saver, n_sched)
+        assert res.events_committed == seq.events_processed
+        assert res.final_state == seq.final_state
+
+    @pytest.mark.parametrize("saver", ["copy", "lvm"])
+    def test_synthetic_matches_sequential(self, saver):
+        model = SyntheticModel(c=100, s=64, w=3, num_objects=8, seed=5)
+        seq = SequentialSimulation(model, end_time=60).run()
+        res = run_optimistic(
+            SyntheticModel(c=100, s=64, w=3, num_objects=8, seed=5),
+            60, saver, 2,
+        )
+        assert res.final_state == seq.final_state
+
+    def test_rollbacks_actually_happen(self):
+        """With several schedulers and low latency the run must exercise
+        the rollback machinery (otherwise these tests prove nothing)."""
+        res = run_optimistic(phold(max_delay=3), 120, "lvm", 3,
+                             latency_cycles=2000)
+        assert res.rollbacks > 0
+        assert res.events_rolled_back > 0
+
+    def test_different_latencies_same_result(self):
+        seq = SequentialSimulation(phold(), end_time=70).run()
+        for latency in (50, 400, 3000):
+            res = run_optimistic(phold(), 70, "lvm", 3, latency_cycles=latency)
+            assert res.final_state == seq.final_state, f"latency={latency}"
+
+    def test_different_gvt_intervals_same_result(self):
+        seq = SequentialSimulation(phold(), end_time=70).run()
+        for interval in (4, 64, 10_000):
+            res = run_optimistic(phold(), 70, "copy", 2, gvt_interval=interval)
+            assert res.final_state == seq.final_state, f"gvt={interval}"
+
+    def test_savers_agree_with_each_other(self):
+        a = run_optimistic(phold(seed=77), 90, "copy", 2)
+        b = run_optimistic(phold(seed=77), 90, "lvm", 2)
+        assert a.final_state == b.final_state
+        assert a.events_committed == b.events_committed
+
+
+class TestExecutiveMechanics:
+    def test_gvt_advances(self):
+        machine = fresh_machine(2)
+        try:
+            sim = TimeWarpSimulation(phold(), end_time=50,
+                                     saver="lvm", n_schedulers=2,
+                                     machine=machine)
+            sim.run()
+            assert sim.gvt > 0
+        finally:
+            set_current_machine(None)
+
+    def test_elapsed_time_positive_and_bounded(self):
+        res = run_optimistic(phold(), 40, "copy", 2)
+        assert 0 < res.elapsed_cycles < 10**9
+
+    def test_no_events_beyond_end_time_processed(self):
+        machine = fresh_machine(1)
+        try:
+            sim = TimeWarpSimulation(phold(), end_time=30, saver="copy",
+                                     n_schedulers=1, machine=machine)
+            sim.run()
+            for p in sim.schedulers[0].processed:
+                assert p.event.recv_time <= 30
+        finally:
+            set_current_machine(None)
+
+    def test_single_scheduler_never_rolls_back(self):
+        """All-local causality: one scheduler processes in order."""
+        res = run_optimistic(phold(), 100, "lvm", 1)
+        assert res.rollbacks == 0
+
+    def test_mismatched_cpu_count_rejected(self):
+        from repro.errors import SimulationError
+
+        machine = fresh_machine(1)
+        try:
+            with pytest.raises(SimulationError):
+                TimeWarpSimulation(phold(), end_time=10, saver="copy",
+                                   n_schedulers=2, machine=machine)
+        finally:
+            set_current_machine(None)
+
+    def test_unknown_saver_rejected(self):
+        from repro.errors import SimulationError
+
+        machine = fresh_machine(1)
+        try:
+            with pytest.raises(SimulationError):
+                TimeWarpSimulation(phold(), end_time=10, saver="bogus",
+                                   n_schedulers=1, machine=machine)
+        finally:
+            set_current_machine(None)
+
+    def test_lvm_overloads_surface_in_result(self):
+        model = SyntheticModel(c=1, s=256, w=16, num_objects=4, seed=3)
+        res = run_optimistic(model, 250, "lvm", 1, gvt_interval=100_000)
+        assert res.overloads > 0

@@ -1,0 +1,108 @@
+"""Tests: the closed queueing-network model on Time Warp."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import boot, set_current_machine
+from repro.errors import SimulationError
+from repro.hw.params import MachineConfig
+from repro.timewarp import SequentialSimulation, TimeWarpSimulation
+from repro.timewarp.queueing import (
+    QueueingNetworkModel,
+    network_invariants,
+    station_stats,
+)
+
+ARGS = dict(num_objects=6, population=5, max_service=6, seed=13)
+
+
+def run_optimistic(saver, n_sched, end_time=120, **model_args):
+    args = dict(ARGS)
+    args.update(model_args)
+    machine = boot(MachineConfig(num_cpus=n_sched, memory_bytes=128 * 1024 * 1024))
+    try:
+        sim = TimeWarpSimulation(
+            QueueingNetworkModel(**args),
+            end_time=end_time,
+            saver=saver,
+            n_schedulers=n_sched,
+            machine=machine,
+        )
+        return sim.run()
+    finally:
+        set_current_machine(None)
+
+
+class TestSequentialBehaviour:
+    def test_jobs_circulate(self):
+        seq = SequentialSimulation(QueueingNetworkModel(**ARGS), 200).run()
+        totals = network_invariants(seq.final_state)
+        assert totals["served"] > 0
+        assert totals["arrivals"] >= totals["served"]
+
+    def test_closed_network_conserves_jobs(self):
+        """Jobs waiting + in service never exceeds the population."""
+        seq = SequentialSimulation(QueueingNetworkModel(**ARGS), 200).run()
+        totals = network_invariants(seq.final_state)
+        assert totals["queued"] + totals["busy"] <= ARGS["population"]
+
+    def test_histogram_counts_services(self):
+        seq = SequentialSimulation(QueueingNetworkModel(**ARGS), 200).run()
+        started = 0
+        model = QueueingNetworkModel(**ARGS)
+        for state in seq.final_state.values():
+            for b in range(model.histogram_buckets):
+                off = 20 + 4 * b
+                started += int.from_bytes(state[off : off + 4], "little")
+        totals = network_invariants(seq.final_state)
+        # Every departure had a service start; in-service jobs add one.
+        assert started >= totals["served"]
+
+    def test_too_small_object_rejected(self):
+        with pytest.raises(SimulationError):
+            QueueingNetworkModel(object_size=16)
+
+    def test_station_stats_decoding(self):
+        seq = SequentialSimulation(QueueingNetworkModel(**ARGS), 100).run()
+        stats = station_stats(seq.final_state[0])
+        assert set(stats) == {
+            "queue_len", "busy", "served", "arrivals", "queue_integral",
+        }
+        assert stats["busy"] in (0, 1)
+
+
+class TestOptimisticMatchesSequential:
+    @pytest.mark.parametrize("saver", ["copy", "lvm"])
+    @pytest.mark.parametrize("n_sched", [1, 3])
+    def test_final_state_matches(self, saver, n_sched):
+        seq = SequentialSimulation(QueueingNetworkModel(**ARGS), 120).run()
+        res = run_optimistic(saver, n_sched)
+        assert res.final_state == seq.final_state
+        assert res.events_committed == seq.events_processed
+
+    def test_rollbacks_exercised_with_contention(self):
+        res = run_optimistic("lvm", 3, end_time=200, transit_delay=1)
+        assert res.rollbacks > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        population=st.integers(1, 8),
+        saver=st.sampled_from(["copy", "lvm"]),
+    )
+    def test_property_queueing_determinism(self, seed, population, saver):
+        args = dict(num_objects=5, population=population, max_service=5, seed=seed)
+        seq = SequentialSimulation(QueueingNetworkModel(**args), 80).run()
+        machine = boot(MachineConfig(num_cpus=2, memory_bytes=128 * 1024 * 1024))
+        try:
+            sim = TimeWarpSimulation(
+                QueueingNetworkModel(**args),
+                end_time=80,
+                saver=saver,
+                n_schedulers=2,
+                machine=machine,
+            )
+            res = sim.run()
+            assert res.final_state == seq.final_state
+        finally:
+            set_current_machine(None)

@@ -1,0 +1,171 @@
+"""Unit tests: scheduler internals — queues, annihilation, rollback.
+
+Includes regression tests for two bugs found during development (and
+therefore worth pinning): antimessages must be sent *after* undone
+events are re-enqueued, and pending annihilations must be counted as a
+multiset because a cancelled copy and its re-sent replacement share a
+uid.
+"""
+
+import pytest
+
+from repro.core.context import use_machine
+from repro.errors import SimulationError
+from repro.timewarp.event import Event, EventKey, Message
+from repro.timewarp.kernel import TimeWarpSimulation
+from repro.timewarp.workloads import SyntheticModel
+
+
+class InertModel:
+    """Model that computes but schedules nothing — the tests inject
+    events explicitly so queue/rollback mechanics are isolated."""
+
+    num_objects = 4
+    object_size = 32
+
+    def initial_events(self):
+        return []
+
+    def handle_event(self, ctx, obj, payload):
+        ctx.compute(10)
+        ctx.write_state(obj, 0, ctx.now)
+
+
+def make_sim(machine, n_sched=1, inert=True, **kw):
+    model = (
+        InertModel()
+        if inert
+        else SyntheticModel(c=10, s=32, w=1, num_objects=4, seed=1)
+    )
+    return TimeWarpSimulation(
+        model, end_time=10**9, saver="lvm", n_schedulers=n_sched,
+        machine=machine, **kw,
+    )
+
+
+def ev(recv_time, uid, dest=0, payload=0, sender=0):
+    return Event(recv_time=recv_time, dest_obj=dest, payload=payload,
+                 uid=uid, sender=sender)
+
+
+class TestEventTypes:
+    def test_event_key_ordering(self):
+        assert EventKey(5, 1) < EventKey(5, 2) < EventKey(6, 0)
+
+    def test_message_annihilation(self):
+        m = Message(ev(5, 77))
+        assert m.negative().annihilates(m)
+        assert not m.annihilates(m)
+        assert not Message(ev(5, 78), sign=-1).annihilates(m)
+
+
+class TestSchedulerQueue:
+    def test_next_key_skips_cancelled_copies(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()  # drop the model's seed events
+            sched.enqueue(ev(5, 100))
+            sched.enqueue(ev(6, 200))
+            sched._receive_antimessage(ev(5, 100))
+            assert sched.next_key() == EventKey(6, 200)
+
+    def test_multiset_annihilation_regression(self, machine):
+        """Two pending cancellations of the same uid kill two copies."""
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()
+            # copy 1 arrives, is cancelled; copy 2 (re-send) arrives,
+            # is cancelled too; copy 3 survives.
+            sched.enqueue(ev(5, 42))
+            sched._receive_antimessage(ev(5, 42))
+            sched.enqueue(ev(5, 42))
+            sched._receive_antimessage(ev(5, 42))
+            sched.enqueue(ev(5, 42))
+            assert sched.next_key() == EventKey(5, 42)
+            sched._queue and sched._queue[0]
+            # Exactly one live copy remains in the queue.
+            live = sum(1 for _, e in sched._queue if e.uid == 42)
+            assert live == 1
+
+    def test_extra_antimessage_is_tolerated(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()
+            sched._receive_antimessage(ev(5, 999))  # never seen
+            sched.enqueue(ev(5, 999))
+            assert sched.next_key() == EventKey(5, 999)  # not eaten
+
+    def test_local_min(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()
+            assert sched.local_min() is None
+            sched.enqueue(ev(9, 1))
+            sched.enqueue(ev(3, 2))
+            assert sched.local_min() == 3
+
+    def test_foreign_object_rejected(self, machine):
+        with use_machine(machine):
+            sim = make_sim(machine, n_sched=2)
+            sched0 = sim.schedulers[0]
+            with pytest.raises(SimulationError):
+                sched0.local_index(1)  # object 1 lives on scheduler 1
+
+
+class TestRollbackMechanics:
+    def test_straggler_reinserts_and_reprocesses(self, machine):
+        with use_machine(machine):
+            sim = make_sim(machine)
+            sched = sim.schedulers[0]
+            sched._queue.clear()
+            sched.enqueue(ev(10, 1))
+            sched.enqueue(ev(20, 2))
+            assert sched.step() and sched.step()
+            assert sched.lvt == 20
+            # A straggler at vt 15 arrives.
+            sched.receive(Message(ev(15, 3)))
+            assert sched.rollback_count == 1
+            assert sched.events_rolled_back == 1  # only the vt-20 event
+            # Reprocessing order: 15 then 20.
+            assert sched.step()
+            assert sched.lvt == 15
+            assert sched.step()
+            assert sched.lvt == 20
+
+    def test_rollback_to_future_is_noop(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()
+            sched.enqueue(ev(10, 1))
+            sched.step()
+            sched.rollback(50)  # nothing processed at >= 50
+            assert sched.events_rolled_back == 0
+            assert sched.lvt == 10
+
+    def test_antimessage_for_processed_event_rolls_back(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()
+            sched.enqueue(ev(10, 1))
+            sched.step()
+            sched.receive(Message(ev(10, 1), sign=-1))
+            # The event was undone AND annihilated: nothing to process.
+            assert sched.next_key() is None
+            assert sched.events_rolled_back == 1
+
+    def test_fossil_collection_trims_processed(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            sched._queue.clear()
+            for i, vt in enumerate((5, 10, 15)):
+                sched.enqueue(ev(vt, i + 1))
+            for _ in range(3):
+                sched.step()
+            sched.fossil_collect(12)
+            assert [p.event.recv_time for p in sched.processed] == [15]
+
+    def test_emit_outside_event_rejected(self, machine):
+        with use_machine(machine):
+            sched = make_sim(machine).schedulers[0]
+            with pytest.raises(SimulationError):
+                sched.emit(Message(ev(5, 1)))

@@ -1,0 +1,98 @@
+"""Tests: run statistics collection and derived metrics."""
+
+import pytest
+
+from repro.core.context import boot, set_current_machine
+from repro.hw.params import MachineConfig
+from repro.timewarp import PholdModel, TimeWarpSimulation
+from repro.timewarp.statistics import RunReport, SchedulerReport, collect_report
+
+
+def run_sim(saver="lvm", n_sched=2, **kw):
+    machine = boot(MachineConfig(num_cpus=n_sched, memory_bytes=128 * 1024 * 1024))
+    sim = TimeWarpSimulation(
+        PholdModel(num_objects=6, population=6, max_delay=4, seed=31),
+        end_time=100,
+        saver=saver,
+        n_schedulers=n_sched,
+        machine=machine,
+        **kw,
+    )
+    sim.run()
+    return sim
+
+
+class TestCollectReport:
+    def test_report_matches_run(self):
+        sim = run_sim()
+        try:
+            report = collect_report(sim)
+            assert len(report.schedulers) == 2
+            assert report.saver_name == "lvm"
+            total = sum(s.events_processed for s in report.schedulers)
+            assert total == sum(s.events_processed for s in sim.schedulers)
+            assert report.elapsed_cycles > 0
+            assert report.gvt > 0
+        finally:
+            set_current_machine(None)
+
+    def test_efficiency_bounds(self):
+        sim = run_sim()
+        try:
+            report = collect_report(sim)
+            assert 0.0 < report.efficiency <= 1.0
+            for s in report.schedulers:
+                assert 0.0 < s.efficiency <= 1.0
+        finally:
+            set_current_machine(None)
+
+    def test_copy_saver_reports_state_bytes(self):
+        sim = run_sim(saver="copy")
+        try:
+            report = collect_report(sim)
+            assert sum(s.state_bytes_saved for s in report.schedulers) > 0
+        finally:
+            set_current_machine(None)
+
+    def test_lvm_saver_saves_no_state_bytes(self):
+        sim = run_sim(saver="lvm")
+        try:
+            report = collect_report(sim)
+            assert sum(s.state_bytes_saved for s in report.schedulers) == 0
+        finally:
+            set_current_machine(None)
+
+    def test_summary_lines_render(self):
+        sim = run_sim()
+        try:
+            lines = collect_report(sim).summary_lines()
+            assert len(lines) == 3
+            assert "efficiency" in lines[0]
+            assert "sched 0" in lines[1]
+        finally:
+            set_current_machine(None)
+
+    def test_critical_scheduler_and_imbalance(self):
+        sim = run_sim()
+        try:
+            report = collect_report(sim)
+            crit = report.critical_scheduler
+            assert crit.cpu_cycles == max(s.cpu_cycles for s in report.schedulers)
+            assert report.load_imbalance >= 1.0
+        finally:
+            set_current_machine(None)
+
+
+class TestDerivedMetrics:
+    def test_mean_rollback_depth(self):
+        s = SchedulerReport(0, 100, 30, 10, 0, 0, 0)
+        assert s.mean_rollback_depth == 3.0
+        assert s.efficiency == 0.7
+
+    def test_zero_division_guards(self):
+        s = SchedulerReport(0, 0, 0, 0, 0, 0, 0)
+        assert s.efficiency == 1.0
+        assert s.mean_rollback_depth == 0.0
+        empty = RunReport()
+        assert empty.efficiency == 1.0
+        assert empty.load_imbalance == 1.0

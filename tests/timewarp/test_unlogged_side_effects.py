@@ -1,0 +1,99 @@
+"""The footnote-1 hazard: side effects outside logged memory.
+
+"The logging does not directly handle the problem of undoing system
+calls unless the calls are performed through a logged virtual memory
+region.  These actions must otherwise be logged by a separate
+mechanism." (section 1, footnote 1)
+
+These tests demonstrate both halves: state kept outside the logged
+working segment silently survives rollback (the hazard), while the same
+state routed *through* a logged region rolls back correctly (the
+paper's prescribed fix).
+"""
+
+import pytest
+
+from repro.core.context import use_machine
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.timewarp.event import Event, Message
+from repro.timewarp.kernel import TimeWarpSimulation
+from repro.hw.params import PAGE_SIZE
+
+
+class SideEffectModel:
+    """Each event appends its virtual time to an external 'device'."""
+
+    num_objects = 2
+    object_size = 32
+
+    def __init__(self, sink):
+        self.sink = sink  # callable(ctx, vt): performs the "system call"
+
+    def initial_events(self):
+        return []
+
+    def handle_event(self, ctx, obj, payload):
+        ctx.compute(20)
+        count = ctx.read_state(obj, 0)
+        ctx.write_state(obj, 0, count + 1)
+        self.sink(ctx, ctx.now)
+
+
+def ev(recv_time, uid):
+    return Event(recv_time=recv_time, dest_obj=0, payload=0, uid=uid)
+
+
+def run_with_straggler(machine, sink):
+    sim = TimeWarpSimulation(
+        SideEffectModel(sink), end_time=10**9, saver="lvm",
+        n_schedulers=1, machine=machine,
+    )
+    sched = sim.schedulers[0]
+    sched.enqueue(ev(10, 1))
+    sched.enqueue(ev(20, 2))
+    sched.step()
+    sched.step()  # optimistically processed vt=20
+    sched.receive(Message(ev(15, 3)))  # straggler: undoes vt=20
+    while sched.step():
+        pass
+    return sched
+
+
+class TestUnloggedSideEffects:
+    def test_python_list_sink_double_records(self, machine):
+        """The hazard: an unlogged sink sees the rolled-back event too."""
+        with use_machine(machine):
+            outputs = []
+            sched = run_with_straggler(
+                machine, lambda ctx, vt: outputs.append(vt)
+            )
+            # vt=20 was executed, rolled back, and re-executed: the
+            # external device saw it twice.
+            assert outputs == [10, 20, 15, 20]
+            # The logged simulation state itself is exact.
+            count = int.from_bytes(sched.object_state(0)[:4], "little")
+            assert count == 3
+
+    def test_logged_region_sink_rolls_back(self, machine):
+        """The fix: route the side effect through logged memory."""
+        with use_machine(machine):
+            device = StdSegment(PAGE_SIZE, machine=machine)
+            # Make the device region part of... the working segment is
+            # the only logged region per scheduler, so the model writes
+            # its output into object 1's state (logged, rolled back).
+            def sink(ctx, vt):
+                slot = ctx.read_state(1, 4)
+                ctx.write_state(1, 8 + 4 * (slot % 5), vt)
+                ctx.write_state(1, 4, slot + 1)
+
+            sched = run_with_straggler(machine, sink)
+            state = sched.object_state(1)
+            n = int.from_bytes(state[4:8], "little")
+            outputs = [
+                int.from_bytes(state[8 + 4 * i : 12 + 4 * i], "little")
+                for i in range(n)
+            ]
+            # Exactly one record per committed event, in virtual-time
+            # order: the rolled-back vt=20 execution left no trace.
+            assert outputs == [10, 15, 20]
