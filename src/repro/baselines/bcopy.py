@@ -8,10 +8,15 @@ L2, write it back: Table 2's block write plus an L2 read).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import SegmentError
 from repro.hw.cpu import CPU
 from repro.hw.params import LINE_SIZE, MachineConfig
 from repro.core.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.process import Process
 
 
 def bcopy_cost_cycles(config: MachineConfig, nbytes: int) -> int:
@@ -40,3 +45,27 @@ def bcopy(
     cycles = bcopy_cost_cycles(cpu.config, nbytes)
     cpu.compute(cycles)
     return cycles
+
+
+def vm_copy(
+    proc: "Process",
+    src_va: int,
+    dst_va: int,
+    nbytes: int,
+    use_blocks: bool = True,
+) -> None:
+    """Copy ``nbytes`` between mapped virtual ranges through the timed path.
+
+    Unlike :func:`bcopy` (a cost model applied to a functional copy),
+    this drives the full timed access path: every word is loaded and
+    stored with its cache, bus, and — on a logged destination — logger
+    charges.  ``use_blocks=False`` selects the word-at-a-time reference
+    loop, which charges identical cycles but simulates far slower; the
+    default routes through the bulk-access engine.
+    """
+    if nbytes < 0:
+        raise SegmentError("cannot copy a negative number of bytes")
+    if use_blocks:
+        proc.write_block(dst_va, proc.read_block(src_va, nbytes))
+    else:
+        proc.write_bytes(dst_va, proc.read_bytes(src_va, nbytes))

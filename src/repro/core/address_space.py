@@ -28,6 +28,7 @@ from repro.errors import (
 from repro.hw.cpu import CPU
 from repro.hw.memory import Frame
 from repro.hw.params import PAGE_SIZE
+from repro.core import bulk
 from repro.core.deferred_copy import ResetStats, reset_cost_cycles
 from repro.core.region import Region
 
@@ -72,15 +73,28 @@ class AddressSpace:
         self._page_table: dict[int, PageTableEntry] = {}
         self._bindings: list[Region] = []
         self._next_va = DEFAULT_MAP_BASE
+        #: software translation cache: vpn -> PTE for pages known to be
+        #: mapped, bypassing fault dispatch on the hot path.  Entries
+        #: are dropped whenever the mapping or its protection changes
+        #: (detach, install_pte, protect/unprotect) — and the write fast
+        #: path re-checks ``write_protected`` on the shared PTE object
+        #: as a second line of defence.
+        self._tc: dict[int, PageTableEntry] = {}
 
     # ------------------------------------------------------------------
     # Binding bookkeeping (called by Region.bind/unbind)
     # ------------------------------------------------------------------
     def attach(self, region: Region, virtaddr: int = 0) -> int:
-        """Reserve the virtual range for ``region``; returns its base."""
+        """Reserve the virtual range for ``region``; returns its base.
+
+        No allocator state is touched until the bind has fully
+        validated: a rejected bind (alignment or overlap) must not leak
+        virtual address space.  Auto-chosen bases are page-rounded so a
+        region whose size is not a page multiple cannot leave
+        ``_next_va`` misaligned for the next auto bind.
+        """
         if virtaddr == 0:
-            virtaddr = self._next_va
-            self._next_va += region.size
+            virtaddr = -(-self._next_va // PAGE_SIZE) * PAGE_SIZE
         if virtaddr % PAGE_SIZE:
             raise BindError("bind address must be page aligned")
         for other in self._bindings:
@@ -104,6 +118,7 @@ class AddressSpace:
         last = (region.base_va + region.size - 1) // PAGE_SIZE
         for vpn in range(first, last + 1):
             pte = self._page_table.pop(vpn, None)
+            self._tc.pop(vpn, None)
             if pte is not None and pte.logged:
                 self.machine.logger.pmt.invalidate(pte.base_paddr)
 
@@ -126,6 +141,8 @@ class AddressSpace:
 
     def install_pte(self, pte: PageTableEntry) -> None:
         self._page_table[pte.vpn] = pte
+        # A (re)installed PTE supersedes whatever the fast path cached.
+        self._tc.pop(pte.vpn, None)
 
     def ptes_for_region(self, region: Region) -> list[PageTableEntry]:
         """All present mappings belonging to ``region``."""
@@ -145,16 +162,21 @@ class AddressSpace:
 
     def write(self, cpu: CPU, vaddr: int, value: int, size: int = 4) -> None:
         """Timed store of ``value`` at ``vaddr``."""
-        pte = self._resolve(cpu, vaddr, size)
-        if pte.write_protected:
-            # Write-protection trap: the kernel dispatches to the
-            # region's protection handler, which may unprotect the
-            # page; the store then continues (or faults for real).
-            self.machine.kernel.protection_fault(cpu, self, vaddr, pte)
+        pte = self._tc.get(vaddr // PAGE_SIZE)
+        if pte is None or pte.write_protected:
+            pte = self._resolve(cpu, vaddr, size)
             if pte.write_protected:
-                raise ProtectionError(
-                    f"store to write-protected page at {vaddr:#x}"
-                )
+                # Write-protection trap: the kernel dispatches to the
+                # region's protection handler, which may unprotect the
+                # page; the store then continues (or faults for real).
+                self.machine.kernel.protection_fault(cpu, self, vaddr, pte)
+                if pte.write_protected:
+                    raise ProtectionError(
+                        f"store to write-protected page at {vaddr:#x}"
+                    )
+            self._tc[vaddr // PAGE_SIZE] = pte
+        elif vaddr % PAGE_SIZE + size > PAGE_SIZE:
+            raise SegmentError("access crosses a page boundary")
         region = pte.region
         offset = pte.page_index * PAGE_SIZE + vaddr % PAGE_SIZE
         segment = region.segment
@@ -178,33 +200,54 @@ class AddressSpace:
 
     def read(self, cpu: CPU, vaddr: int, size: int = 4) -> int:
         """Timed load from ``vaddr``."""
-        pte = self._resolve(cpu, vaddr, size)
+        pte = self._tc.get(vaddr // PAGE_SIZE)
+        if pte is None:
+            pte = self._resolve(cpu, vaddr, size)
+            self._tc[vaddr // PAGE_SIZE] = pte
+        elif vaddr % PAGE_SIZE + size > PAGE_SIZE:
+            raise SegmentError("access crosses a page boundary")
         offset = pte.page_index * PAGE_SIZE + vaddr % PAGE_SIZE
         value = pte.region.segment.read(offset, size)
         cpu.cached_read(pte.base_paddr + vaddr % PAGE_SIZE)
         return value
 
     def write_bytes(self, cpu: CPU, vaddr: int, data: bytes) -> None:
-        """Timed byte-string store, word at a time."""
-        pos = 0
-        while pos < len(data):
-            remaining = len(data) - pos
-            size = 4 if (vaddr + pos) % 4 == 0 and remaining >= 4 else 1
-            value = int.from_bytes(data[pos : pos + size], "little")
-            self.write(cpu, vaddr + pos, value, size)
-            pos += size
+        """Timed byte-string store, word at a time.
+
+        This is the reference (slow) loop; :meth:`write_block` charges
+        identical cycles in one call per page-run.
+        """
+        for off, size in bulk.access_steps(vaddr, len(data)):
+            value = int.from_bytes(data[off : off + size], "little")
+            self.write(cpu, vaddr + off, value, size)
 
     def read_bytes(self, cpu: CPU, vaddr: int, length: int) -> bytes:
-        """Timed byte-string load, word at a time."""
+        """Timed byte-string load, word at a time.
+
+        This is the reference (slow) loop; :meth:`read_block` charges
+        identical cycles in one call per page-run.
+        """
         out = bytearray()
-        pos = 0
-        while pos < length:
-            remaining = length - pos
-            size = 4 if (vaddr + pos) % 4 == 0 and remaining >= 4 else 1
-            value = self.read(cpu, vaddr + pos, size)
+        for off, size in bulk.access_steps(vaddr, length):
+            value = self.read(cpu, vaddr + off, size)
             out += value.to_bytes(size, "little")
-            pos += size
         return bytes(out)
+
+    def write_block(self, cpu: CPU, vaddr: int, data: bytes) -> None:
+        """Timed byte-string store through the bulk-access engine.
+
+        Cycle-for-cycle identical to :meth:`write_bytes`, but processes
+        each page-run in one Python call.
+        """
+        bulk.write_block(self, cpu, vaddr, data)
+
+    def read_block(self, cpu: CPU, vaddr: int, length: int) -> bytes:
+        """Timed byte-string load through the bulk-access engine.
+
+        Cycle-for-cycle identical to :meth:`read_bytes`, but processes
+        each page-run in one Python call.
+        """
+        return bulk.read_block(self, cpu, vaddr, length)
 
     # ------------------------------------------------------------------
     # Write protection (section 5.1 related work, integrated per the
@@ -229,6 +272,9 @@ class AddressSpace:
             pte = self._page_table.get(vpn)
             if pte is not None:
                 pte.write_protected = True
+            # Drop the fast-path entry so stores take the full
+            # resolve-and-trap path again.
+            self._tc.pop(vpn, None)
             pages += 1
         cpu.compute(20 * pages)
         return pages
@@ -246,6 +292,7 @@ class AddressSpace:
             pte = self._page_table.get(vpn)
             if pte is not None:
                 pte.write_protected = False
+            self._tc.pop(vpn, None)
             pages += 1
         cpu.compute(20 * pages)
         return pages

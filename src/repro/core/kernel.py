@@ -316,6 +316,23 @@ class Kernel:
         if entry is not None:
             entry[0].note_lost()
 
+    def log_segment_for(self, log_index: int) -> LogSegment | None:
+        """Batching hook: let the logger account appends inline.
+
+        Only NORMAL-mode logs whose ``note_append`` is the stock
+        two-increment accounting qualify; anything else keeps the
+        per-record :meth:`record_written` callback.
+        """
+        entry = self._logs.get(log_index)
+        if entry is None:
+            return None
+        log, region = entry
+        if region.log_mode is not LogMode.NORMAL:
+            return None
+        if type(log).note_append is not LogSegment.note_append:
+            return None
+        return log
+
     # ------------------------------------------------------------------
     # Interrupt handlers
     # ------------------------------------------------------------------

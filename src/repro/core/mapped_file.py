@@ -63,6 +63,18 @@ class MappedFile:
         self.disk = disk
         self.file_offset = file_offset
 
+    def write(self, offset: int, data: bytes) -> None:
+        """Timed store of ``data`` at file offset ``offset``.
+
+        Routed through the bulk-access engine; on a logged mapping the
+        per-word log records are produced exactly as by a word loop.
+        """
+        self.proc.write_block(self.base_va + offset, data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Timed load of ``length`` bytes at file offset ``offset``."""
+        return self.proc.read_block(self.base_va + offset, length)
+
     def msync(self) -> int:
         """Write resident pages back to the file; returns bytes written.
 

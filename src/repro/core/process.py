@@ -66,6 +66,15 @@ class Process:
     def read_bytes(self, vaddr: int, length: int) -> bytes:
         return self._address_space.read_bytes(self.cpu, vaddr, length)
 
+    def write_block(self, vaddr: int, data: bytes) -> None:
+        """Timed bulk store — cycle-identical to :meth:`write_bytes`,
+        processed one page-run per call by the bulk-access engine."""
+        self._address_space.write_block(self.cpu, vaddr, data)
+
+    def read_block(self, vaddr: int, length: int) -> bytes:
+        """Timed bulk load — cycle-identical to :meth:`read_bytes`."""
+        return self._address_space.read_block(self.cpu, vaddr, length)
+
     @property
     def now(self) -> int:
         """This process's CPU-local cycle time."""

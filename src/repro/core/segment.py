@@ -276,6 +276,16 @@ class Segment:
         base = index * PAGE_SIZE
         if page is None or not page.dc_dirty:
             return self.source.read_bytes(self.source_offset + base + in_page, length)
+        first = in_page // LINE_SIZE
+        last = (in_page + length - 1) // LINE_SIZE
+        span = ((1 << (last - first + 1)) - 1) << first
+        covered = page.dc_dirty_mask & span
+        if covered == span:
+            # Every line in the range is dirty: one frame read.
+            return page.frame.read_bytes(in_page, length)
+        if not covered:
+            # Every line is clean: one source read.
+            return self.source.read_bytes(self.source_offset + base + in_page, length)
         out = bytearray()
         offset = in_page
         remaining = length
@@ -307,6 +317,10 @@ class Segment:
             if page.dc_dirty_mask >> line & 1:
                 continue
             line_off = line * LINE_SIZE
+            if offset <= line_off and line_off + LINE_SIZE <= offset + size:
+                # The write covers this whole line: filling it from the
+                # source would be overwritten immediately.
+                continue
             data = self.source.read_bytes(
                 self.source_offset + base + line_off, LINE_SIZE
             )

@@ -12,20 +12,23 @@ operation is to be logged", section 3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol
+from typing import NamedTuple, Optional, Protocol
 
 
-@dataclass(frozen=True)
-class BusWrite:
-    """A write transaction as seen on the bus."""
+class BusWrite(NamedTuple):
+    """A write transaction as seen on the bus.
+
+    A NamedTuple rather than a dataclass: one is constructed per
+    write-through store, and tuple construction is the cheapest
+    immutable record Python offers.
+    """
 
     paddr: int
     value: int
     size: int
     #: Bus "log" signal: the log-table index this write should be logged
     #: under, or ``None`` for unlogged writes.
-    log_tag: int | None
+    log_tag: Optional[int]
     #: Index of the CPU that issued the write (used to attribute
     #: overload penalties back to the writer).
     cpu_index: int

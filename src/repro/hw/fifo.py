@@ -9,12 +9,30 @@ whenever time is observed to have advanced.
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from typing import Generic, Iterator, TypeVar
 
 from repro.errors import ConfigError
 
 T = TypeVar("T")
+
+
+class PushResult(enum.Enum):
+    """Outcome of a :meth:`HardwareFifo.push`.
+
+    The logger must distinguish "occupancy rose above the overload
+    watermark" (raise the overload interrupt) from "the FIFO was already
+    at hard capacity and the entry was lost" (a dropped record, *not* a
+    fresh overload event) — conflating the two double-counts overloads.
+    """
+
+    #: Entry queued; occupancy is at or below the threshold.
+    OK = "ok"
+    #: Entry queued and occupancy rose above the overload threshold.
+    THRESHOLD = "threshold"
+    #: FIFO was at hard capacity; the entry was dropped.
+    OVERFLOW = "overflow"
 
 
 class HardwareFifo(Generic[T]):
@@ -53,20 +71,24 @@ class HardwareFifo(Generic[T]):
         """Number of entries currently queued."""
         return len(self._entries)
 
-    def push(self, ready_cycle: int, item: T) -> bool:
+    def push(self, ready_cycle: int, item: T) -> PushResult:
         """Queue ``item``, available to the consumer at ``ready_cycle``.
 
-        Returns ``True`` if the push raised occupancy above the overload
-        threshold.  If the FIFO is at hard capacity the entry is dropped
-        and counted in :attr:`overflow_count` (log records are lost).
+        Returns :attr:`PushResult.THRESHOLD` if the push raised occupancy
+        above the overload threshold, :attr:`PushResult.OVERFLOW` if the
+        FIFO was at hard capacity and the entry was dropped (counted in
+        :attr:`overflow_count` — log records are lost), and
+        :attr:`PushResult.OK` otherwise.
         """
         if len(self._entries) >= self.capacity:
             self.overflow_count += 1
-            return True
+            return PushResult.OVERFLOW
         self._entries.append((ready_cycle, item))
         if len(self._entries) > self.high_water_mark:
             self.high_water_mark = len(self._entries)
-        return len(self._entries) > self.threshold
+        if len(self._entries) > self.threshold:
+            return PushResult.THRESHOLD
+        return PushResult.OK
 
     def peek(self) -> tuple[int, T]:
         """Return the head entry without removing it."""

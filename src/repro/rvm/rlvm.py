@@ -98,9 +98,19 @@ class RLVMTransaction:
         self._check_active()
         self.rlvm.proc.write(vaddr, value, size)
 
+    def write_block(self, vaddr: int, data: bytes) -> None:
+        """Bulk store into recoverable memory — no declarations needed;
+        the hardware log captures every word (section 2.5)."""
+        self._check_active()
+        self.rlvm.proc.write_block(vaddr, data)
+
     def read(self, vaddr: int, size: int = 4) -> int:
         self._check_active()
         return self.rlvm.proc.read(vaddr, size)
+
+    def read_block(self, vaddr: int, length: int) -> bytes:
+        self._check_active()
+        return self.rlvm.proc.read_block(vaddr, length)
 
     def commit(self, flush: bool = True) -> None:
         """Commit; ``flush=False`` buffers durability until

@@ -131,6 +131,25 @@ class Transaction:
             )
         self.rvm.proc.write(vaddr, value, size)
 
+    def write_block(self, vaddr: int, data: bytes) -> None:
+        """Bulk store into recoverable memory through the bulk engine.
+
+        The whole range must be covered by set_range declarations, as
+        each word of the equivalent :meth:`write` loop would be.
+        """
+        self._check_active()
+        if not self._covered_span(vaddr, len(data)):
+            raise TransactionError(
+                f"write of {len(data)} bytes at {vaddr:#x} not covered by "
+                "set_range(); this is the error-prone annotation burden "
+                "LVM removes (section 2.5)"
+            )
+        self.rvm.proc.write_block(vaddr, data)
+
+    def read_block(self, vaddr: int, length: int) -> bytes:
+        self._check_active()
+        return self.rvm.proc.read_block(vaddr, length)
+
     def unsafe_write(self, vaddr: int, value: int, size: int = 4) -> None:
         """A store whose set_range was forgotten.
 
@@ -199,6 +218,26 @@ class Transaction:
             and offset + size <= rng.offset + rng.length
             for rng in self._ranges
         )
+
+    def _covered_span(self, vaddr: int, length: int) -> bool:
+        """True when declared ranges jointly cover ``[vaddr, vaddr+length)``."""
+        if length == 0:
+            return True
+        rseg, offset = self.rvm._locate(vaddr)
+        end = offset + length
+        need = offset
+        for lo, hi in sorted(
+            (rng.offset, rng.offset + rng.length)
+            for rng in self._ranges
+            if rng.rseg is rseg
+        ):
+            if lo > need:
+                break
+            if hi > need:
+                need = hi
+            if need >= end:
+                return True
+        return need >= end
 
 
 class RVM:

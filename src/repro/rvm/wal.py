@@ -89,13 +89,15 @@ class WriteAheadLog:
         self, cpu: CPU, tid: int, writes: list[tuple[int, int, bytes]]
     ) -> None:
         """Append several WRITE entries as one disk operation (group I/O)."""
-        frames = bytearray()
+        parts = []
         for seg_id, offset, data in writes:
             payload = _WRITE_HEAD.pack(tid, seg_id, offset, len(data)) + data
-            frames += _HEADER.pack(len(payload), EntryKind.WRITE) + payload
+            parts.append(_HEADER.pack(len(payload), EntryKind.WRITE))
+            parts.append(payload)
+        frames = b"".join(parts)
         if self.tail + len(frames) > self.capacity:
             raise RecoveryError("write-ahead log is full; truncate first")
-        self.disk.write(cpu, self.base + self.tail, bytes(frames))
+        self.disk.write(cpu, self.base + self.tail, frames)
         self.tail += len(frames)
         self.appends += 1
 
@@ -108,18 +110,21 @@ class WriteAheadLog:
         its WRITE entries followed by a COMMIT entry, all in a single
         group I/O — the amortisation that makes lazy commit cheap.
         """
-        frames = bytearray()
+        parts = []
         for tid, writes in txns:
             for seg_id, offset, data in writes:
                 payload = _WRITE_HEAD.pack(tid, seg_id, offset, len(data)) + data
-                frames += _HEADER.pack(len(payload), EntryKind.WRITE) + payload
+                parts.append(_HEADER.pack(len(payload), EntryKind.WRITE))
+                parts.append(payload)
             payload = _TID.pack(tid)
-            frames += _HEADER.pack(len(payload), EntryKind.COMMIT) + payload
+            parts.append(_HEADER.pack(len(payload), EntryKind.COMMIT))
+            parts.append(payload)
+        frames = b"".join(parts)
         if not frames:
             return
         if self.tail + len(frames) > self.capacity:
             raise RecoveryError("write-ahead log is full; truncate first")
-        self.disk.write(cpu, self.base + self.tail, bytes(frames))
+        self.disk.write(cpu, self.base + self.tail, frames)
         self.tail += len(frames)
         self.appends += 1
 

@@ -131,10 +131,18 @@ class CopyStateSaver(StateSaver):
     def rollback(self, vt: int) -> None:
         self.rollback_count += 1
         proc = self.scheduler.proc
+        restored = 0
         while self._saved and self._saved[-1][0] >= vt:
             _, local_index, data = self._saved.pop()
             self.working.write_bytes(self.object_offset(local_index), data)
-            proc.compute(bcopy_cost_cycles(proc.machine.config, self.slot_size))
+            restored += 1
+        if restored:
+            # One compute call for the whole restore: compute() charges
+            # are additive, so this is cycle-identical to charging each
+            # copy separately.
+            proc.compute(
+                restored * bcopy_cost_cycles(proc.machine.config, self.slot_size)
+            )
 
     def advance_checkpoint(self, gvt: int) -> None:
         self._saved = [entry for entry in self._saved if entry[0] >= gvt]

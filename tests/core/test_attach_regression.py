@@ -1,0 +1,85 @@
+"""Regression tests for the ``AddressSpace.attach`` allocator.
+
+The original code advanced ``_next_va`` *before* validating an
+auto-placed bind, so a failing bind leaked virtual address space — and
+an auto base was taken verbatim from ``_next_va``, so one bound region
+whose ``size`` is not a page multiple left the allocator misaligned and
+every later auto bind failed with an alignment error.
+"""
+
+import pytest
+
+from repro.core.address_space import DEFAULT_MAP_BASE, AddressSpace
+from repro.core.context import boot, set_current_machine
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.errors import BindError
+from repro.hw.params import PAGE_SIZE, MachineConfig
+
+CONFIG = MachineConfig(memory_bytes=8 * 1024 * 1024)
+
+
+class OddSizedRegion(StdRegion):
+    """A region whose mapped size is not a page multiple.
+
+    ``Region.size`` is an overridable property; the allocator must not
+    assume callers only ever present page-rounded sizes.
+    """
+
+    @property
+    def size(self):
+        return PAGE_SIZE + 100
+
+
+@pytest.fixture
+def machine():
+    m = boot(CONFIG)
+    yield m
+    set_current_machine(None)
+
+
+def test_odd_sized_region_does_not_wedge_auto_binding(machine):
+    aspace = machine.current_process.address_space()
+    odd = OddSizedRegion(StdSegment(PAGE_SIZE, machine=machine))
+    assert odd.bind(aspace) == DEFAULT_MAP_BASE
+    # The next auto bind must get a page-aligned base after the odd
+    # mapping (the original code handed out the misaligned end address
+    # and then rejected it, permanently wedging auto binding).
+    after = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    assert after.bind(aspace) == DEFAULT_MAP_BASE + 2 * PAGE_SIZE
+
+
+def test_rejected_bind_leaves_allocator_untouched(machine):
+    aspace = machine.current_process.address_space()
+    first = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    va = first.bind(aspace)
+    next_va = aspace._next_va
+    other = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    with pytest.raises(BindError):
+        other.bind(aspace, va + 1)  # misaligned
+    with pytest.raises(BindError):
+        other.bind(aspace, va)  # overlaps `first`
+    assert aspace._next_va == next_va
+    assert other.bind(aspace) == va + PAGE_SIZE  # packs tightly, no leak
+
+
+def test_rejected_attach_does_not_leak_va(machine):
+    # Drive attach directly: a request that fails validation must not
+    # move the allocator even when auto placement chose the address.
+    aspace = AddressSpace(machine=machine)
+    blocker = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    blocker.bind(aspace)
+    aspace._next_va = DEFAULT_MAP_BASE  # force the next auto pick onto it
+    request = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    with pytest.raises(BindError):
+        aspace.attach(request, 0)
+    assert aspace._next_va == DEFAULT_MAP_BASE
+    assert request not in aspace.regions()
+
+
+def test_explicit_binds_advance_allocator_past_their_end(machine):
+    aspace = machine.current_process.address_space()
+    high = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    high.bind(aspace, DEFAULT_MAP_BASE + 8 * PAGE_SIZE)
+    auto = StdRegion(StdSegment(PAGE_SIZE, machine=machine))
+    assert auto.bind(aspace) == DEFAULT_MAP_BASE + 9 * PAGE_SIZE

@@ -1,0 +1,456 @@
+"""Cycle-exactness guard for the bulk-access engine.
+
+Each workload runs twice, on two freshly booted, identically configured
+machines: once through the word-at-a-time reference loop
+(``write_bytes``/``read_bytes``) and once through the bulk engine
+(``write_block``/``read_block``).  The complete observable state — memory
+contents, log records, and every CPU / bus / logger cycle counter — must
+be bit-identical.  The workloads are chosen to push records down every
+side path: page faults, log-page boundary faults, PMT conflict misses,
+FIFO overload and overflow, write-protection traps, deferred-copy
+segments, special log modes, and the on-chip logger.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import bulk
+from repro.core.context import boot, set_current_machine
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.errors import ProtectionError, UnmappedAddressError
+from repro.hw.logger import LogMode
+from repro.hw.params import NEXT_GENERATION, PAGE_SIZE, MachineConfig
+
+BASE = MachineConfig(memory_bytes=32 * 1024 * 1024)
+ONCHIP = NEXT_GENERATION.with_changes(memory_bytes=32 * 1024 * 1024)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def machine_state(m, ctx):
+    """Everything observable about a machine after a workload."""
+    cpu = m.cpu(0)
+    lg = m.logger
+    state = {
+        "cpu_now": cpu._now,
+        "cpu_resume_at": cpu._resume_at,
+        "cpu_stats": cpu.stats.snapshot(),
+        "write_buffer": list(cpu._write_buffer),
+        "l1": (cpu.l1.hits, cpu.l1.misses, dict(cpu.l1._tags)),
+        "clock_now": m.clock.now,
+        "bus": (m.bus.busy_until, m.bus.total_busy_cycles, m.bus.transaction_count),
+        "logger_stats": lg.stats.snapshot(),
+        "logger_service_free": lg._service_free,
+        "fifo": (
+            list(lg.write_fifo._entries),
+            lg.write_fifo.high_water_mark,
+            lg.write_fifo.overflow_count,
+        ),
+        "pmt": (lg.pmt.lookup_count, lg.pmt.miss_count, lg.pmt.eviction_count),
+        "log_table": {
+            idx: (entry.log_address, entry.valid)
+            for idx, entry in lg.log_table._entries.items()
+        },
+        "absorbing": set(lg._absorbing),
+        "kernel_stats": m.kernel.stats.snapshot(),
+        "interrupts": dict(m.interrupts.counts),
+        "segments": [seg.snapshot() for seg in ctx.get("segments", ())],
+        "logs": [
+            (log.append_offset, log.records_appended, log.lost_records, log.snapshot())
+            for log in ctx.get("logs", ())
+        ],
+    }
+    if m.on_chip_logger is not None:
+        oc = m.on_chip_logger
+        state["onchip"] = (oc.records_logged, oc.records_dropped)
+    return state
+
+
+def run_pair(build, drive, config=BASE):
+    """Run ``drive`` on two machines (slow vs bulk) and diff their state.
+
+    ``build(machine)`` sets up regions/logs and returns a context dict
+    (with optional "segments"/"logs" lists to snapshot);
+    ``drive(machine, ctx, block_path)`` applies the workload through the
+    reference loop when ``block_path`` is False and through the bulk
+    engine when True.  Returns the (identical) final state.
+    """
+    states = []
+    outputs = []
+    for block_path in (False, True):
+        m = boot(config)
+        try:
+            ctx = build(m)
+            outputs.append(drive(m, ctx, block_path))
+        finally:
+            set_current_machine(None)
+        states.append(machine_state(m, ctx))
+    slow, fast = states
+    for key in slow:
+        assert fast[key] == slow[key], f"bulk path diverged in {key!r}"
+    assert outputs[0] == outputs[1], "read data diverged"
+    return slow
+
+
+def store(m, va, data, block_path):
+    aspace = m.current_process.address_space()
+    cpu = m.cpu(0)
+    if block_path:
+        aspace.write_block(cpu, va, data)
+    else:
+        aspace.write_bytes(cpu, va, data)
+
+
+def load(m, va, length, block_path):
+    aspace = m.current_process.address_space()
+    cpu = m.cpu(0)
+    if block_path:
+        return aspace.read_block(cpu, va, length)
+    return aspace.read_bytes(cpu, va, length)
+
+
+def build_region(size=4 * PAGE_SIZE, logged=True, mode=LogMode.NORMAL, **log_extra):
+    def build(m):
+        seg = StdSegment(size, machine=m)
+        region = StdRegion(seg)
+        ctx = {"region": region, "segments": [seg], "logs": []}
+        if logged:
+            log = LogSegment(machine=m, **log_extra)
+            region.log(log, mode)
+            ctx["logs"].append(log)
+        ctx["va"] = region.bind(m.current_process.address_space())
+        return ctx
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Write exactness
+# ----------------------------------------------------------------------
+class TestWriteExactness:
+    def test_sequential_logged(self):
+        payload = random.Random(1).randbytes(2 * PAGE_SIZE + 123)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"], payload, bp)
+
+        state = run_pair(build_region(), drive)
+        # Sanity: the workload really exercised the logger pipeline.
+        assert state["logger_stats"]["records_logged"] > 0
+        assert state["logger_stats"]["boundary_fault_count"] > 0
+
+    def test_unaligned_offsets_and_tails(self):
+        rng = random.Random(2)
+        chunks = [
+            (1, rng.randbytes(3)),
+            (PAGE_SIZE - 3, rng.randbytes(7)),  # crosses a page boundary
+            (2 * PAGE_SIZE + 2, rng.randbytes(2)),
+            (5, rng.randbytes(257)),
+            (PAGE_SIZE + 1, rng.randbytes(1)),
+        ]
+
+        def drive(m, ctx, bp):
+            for off, data in chunks:
+                store(m, ctx["va"] + off, data, bp)
+
+        run_pair(build_region(), drive)
+
+    def test_randomized_mixed_workload(self):
+        rng = random.Random(3)
+        size = 4 * PAGE_SIZE
+        ops = []
+        for _ in range(60):
+            off = rng.randrange(size - 300)
+            length = rng.randrange(1, 300)
+            if rng.random() < 0.6:
+                ops.append(("w", off, rng.randbytes(length)))
+            else:
+                ops.append(("r", off, length))
+
+        def drive(m, ctx, bp):
+            out = []
+            for kind, off, arg in ops:
+                if kind == "w":
+                    store(m, ctx["va"] + off, arg, bp)
+                else:
+                    out.append(load(m, ctx["va"] + off, arg, bp))
+            return out
+
+        run_pair(build_region(), drive)
+
+    def test_unlogged_region(self):
+        payload = random.Random(4).randbytes(PAGE_SIZE + 77)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"] + 3, payload, bp)
+            return load(m, ctx["va"], PAGE_SIZE, bp)
+
+        state = run_pair(build_region(logged=False), drive)
+        assert state["logger_stats"]["records_logged"] == 0
+
+    def test_indexed_log_mode_falls_back_exactly(self):
+        payload = random.Random(5).randbytes(600)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"] + 4, payload, bp)
+
+        state = run_pair(build_region(mode=LogMode.INDEXED), drive)
+        assert state["logger_stats"]["records_logged"] > 0
+
+
+class TestSidePathExactness:
+    def test_deferred_copy_destination(self):
+        def build(m):
+            src = StdSegment(2 * PAGE_SIZE, machine=m)
+            src.write_bytes(0, random.Random(6).randbytes(2 * PAGE_SIZE))
+            dst = StdSegment(2 * PAGE_SIZE, machine=m)
+            dst.source_segment(src)
+            region = StdRegion(dst)
+            va = region.bind(m.current_process.address_space())
+            return {"region": region, "va": va, "segments": [src, dst], "logs": []}
+
+        rng = random.Random(7)
+        writes = [(rng.randrange(2 * PAGE_SIZE - 40), rng.randbytes(rng.randrange(1, 40)))
+                  for _ in range(25)]
+
+        def drive(m, ctx, bp):
+            out = []
+            for off, data in writes:
+                store(m, ctx["va"] + off, data, bp)
+                out.append(load(m, ctx["va"] + max(0, off - 8), len(data) + 16, bp))
+            out.append(load(m, ctx["va"], 2 * PAGE_SIZE, bp))
+            return out
+
+        run_pair(build, drive)
+
+    def test_protection_trap_with_unprotect_handler(self):
+        def build(m):
+            ctx = build_region()(m)
+            aspace = m.current_process.address_space()
+            region = ctx["region"]
+            va = ctx["va"]
+            # Touch the pages first so PTEs exist, then protect page 1.
+            aspace.write_bytes(m.cpu(0), va, b"\0" * (3 * PAGE_SIZE))
+            aspace.protect_range(va + PAGE_SIZE, va + 2 * PAGE_SIZE)
+
+            def handler(reg, vaddr):
+                aspace.unprotect_range(vaddr, vaddr + 1)
+
+            region.protection_handler = handler
+            return ctx
+
+        payload = random.Random(8).randbytes(3 * PAGE_SIZE)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"], payload, bp)
+
+        state = run_pair(build, drive)
+        assert state["kernel_stats"]["protection_faults"] == 1
+
+    def test_overflow_with_tight_fifo(self):
+        # threshold == capacity: occupancy can never exceed the
+        # threshold, so the FIFO overflows (drops) instead of raising
+        # overload interrupts — both paths must drop identically.
+        config = BASE.with_changes(
+            logger_fifo_capacity=4, logger_overload_threshold=4
+        )
+        payload = random.Random(9).randbytes(2048)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"], payload, bp)
+
+        state = run_pair(build_region(), drive, config=config)
+        assert state["fifo"][2] > 0  # overflow_count
+        assert state["logger_stats"]["records_dropped"] > 0
+        assert state["logger_stats"]["overload_events"] == 0
+
+    def test_overload_with_low_threshold(self):
+        config = BASE.with_changes(
+            logger_fifo_capacity=32, logger_overload_threshold=4
+        )
+        payload = random.Random(10).randbytes(2048)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"], payload, bp)
+
+        state = run_pair(build_region(), drive, config=config)
+        assert state["logger_stats"]["overload_events"] > 0
+        assert state["cpu_stats"]["suspend_cycles"] > 0
+
+    def test_pmt_conflict_misses(self):
+        # A 2-entry PMT with two logged pages landing on the same index:
+        # alternating writes evict each other's entries, forcing PMT
+        # faults inside the drain on both paths.
+        config = BASE.with_changes(pmt_index_bits=1)
+        rng = random.Random(11)
+        # Touch order 0, 1, 2 allocates consecutive frames, so region
+        # pages 0 and 2 get same-parity frame numbers — the same PMT
+        # index — and then alternating writes evict each other.
+        bursts = [
+            (page, rng.randbytes(64)) for page in (0, 1, 2, 0, 2, 0, 2, 0, 2)
+        ]
+
+        def drive(m, ctx, bp):
+            for page, data in bursts:
+                store(m, ctx["va"] + page * PAGE_SIZE, data, bp)
+            m.logger.flush()
+
+        state = run_pair(build_region(), drive, config=config)
+        assert state["logger_stats"]["pmt_fault_count"] > 0
+
+    def test_onchip_logger(self):
+        payload = random.Random(12).randbytes(PAGE_SIZE + 200)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"] + 2, payload, bp)
+
+        state = run_pair(build_region(), drive, config=ONCHIP)
+        assert state["onchip"][0] > 0
+
+    def test_onchip_extended_records(self):
+        payload = random.Random(13).randbytes(PAGE_SIZE)
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"] + 6, payload, bp)
+            store(m, ctx["va"] + 6, payload[::-1], bp)  # rewrite: old values differ
+
+        state = run_pair(
+            build_region(extended_records=True), drive, config=ONCHIP
+        )
+        assert state["onchip"][0] > 0
+
+
+class TestReadExactness:
+    def test_reads_after_writes(self):
+        rng = random.Random(14)
+        payload = rng.randbytes(3 * PAGE_SIZE)
+        reads = [(rng.randrange(3 * PAGE_SIZE - 90), rng.randrange(1, 90))
+                 for _ in range(30)]
+
+        def drive(m, ctx, bp):
+            store(m, ctx["va"], payload, bp)
+            return [load(m, ctx["va"] + off, n, bp) for off, n in reads]
+
+        run_pair(build_region(), drive)
+
+    def test_cold_reads_fault_pages_in(self):
+        def drive(m, ctx, bp):
+            return load(m, ctx["va"] + 5, 2 * PAGE_SIZE, bp)
+
+        state = run_pair(build_region(logged=False), drive)
+        assert state["kernel_stats"]["page_faults"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Access stepping (the shared slow/bulk definition)
+# ----------------------------------------------------------------------
+class TestAccessSteps:
+    def test_halfword_step_used(self):
+        assert bulk.access_steps(2, 2) == [(0, 2)]
+
+    def test_mixed_alignment(self):
+        assert bulk.access_steps(1, 7) == [(0, 1), (1, 2), (3, 4)]
+
+    def test_aligned_run_with_halfword_tail(self):
+        assert bulk.access_steps(0, 10) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_steps_cover_range_exactly(self):
+        for va in range(8):
+            for length in range(1, 24):
+                steps = bulk.access_steps(va, length)
+                pos = 0
+                for off, size in steps:
+                    assert off == pos
+                    assert (va + off) % size == 0  # natural alignment
+                    pos += size
+                assert pos == length
+
+    def test_halfword_store_is_one_access(self):
+        # A 2-byte aligned store must be charged as ONE access, not two
+        # byte stores: cheaper in both store count and cycles.
+        m = boot(BASE)
+        try:
+            seg = StdSegment(PAGE_SIZE, machine=m)
+            region = StdRegion(seg)
+            va = region.bind(m.current_process.address_space())
+            aspace = m.current_process.address_space()
+            cpu = m.cpu(0)
+            aspace.write_bytes(cpu, va, b"\0\0\0\0")  # fault + warm the line
+            stores_before = cpu.stats.stores
+            now_before = cpu.now
+            aspace.write_bytes(cpu, va + 2, b"ab")
+            assert cpu.stats.stores - stores_before == 1
+            one_access = cpu.now - now_before
+            # Two single-byte stores to the same warm line cost more.
+            now_before = cpu.now
+            aspace.write_bytes(cpu, va + 5, b"c")
+            aspace.write_bytes(cpu, va + 6, b"d")
+            assert cpu.now - now_before == 2 * one_access
+        finally:
+            set_current_machine(None)
+
+
+# ----------------------------------------------------------------------
+# Translation-cache invalidation (stale fast-path entries must never
+# bypass a mapping or protection change)
+# ----------------------------------------------------------------------
+class TestTranslationCacheInvalidation:
+    def setup_machine(self):
+        m = boot(BASE)
+        seg = StdSegment(2 * PAGE_SIZE, machine=m)
+        region = StdRegion(seg)
+        va = region.bind(m.current_process.address_space())
+        return m, region, va
+
+    def teardown_method(self, method):
+        set_current_machine(None)
+
+    def test_protect_range_defeats_cached_entry(self):
+        m, region, va = self.setup_machine()
+        aspace = m.current_process.address_space()
+        cpu = m.cpu(0)
+        aspace.write(cpu, va, 1)  # seeds the fast-path cache
+        aspace.protect_range(va, va + 1)
+        with pytest.raises(ProtectionError):
+            aspace.write(cpu, va + 4, 2)
+        assert m.kernel.stats.protection_faults == 1
+
+    def test_write_block_sees_new_protection(self):
+        m, region, va = self.setup_machine()
+        aspace = m.current_process.address_space()
+        cpu = m.cpu(0)
+        aspace.write_block(cpu, va, b"\1\2\3\4")
+        aspace.protect_range(va, va + 1)
+        with pytest.raises(ProtectionError):
+            aspace.write_block(cpu, va, bytes([5, 6, 7, 8]))
+        assert m.kernel.stats.protection_faults == 1
+
+    def test_unprotect_range_restores_fast_path(self):
+        m, region, va = self.setup_machine()
+        aspace = m.current_process.address_space()
+        cpu = m.cpu(0)
+        traps = []
+        region.protection_handler = lambda reg, vaddr: traps.append(vaddr)
+        aspace.write(cpu, va, 1)
+        aspace.protect_range(va, va + 1)
+        aspace.unprotect_range(va, va + 1)
+        aspace.write(cpu, va + 8, 2)  # must not trap
+        assert traps == []
+        assert m.kernel.stats.protection_faults == 0
+
+    def test_detach_drops_cached_entries(self):
+        m, region, va = self.setup_machine()
+        aspace = m.current_process.address_space()
+        cpu = m.cpu(0)
+        aspace.write(cpu, va, 1)
+        region.unbind()
+        with pytest.raises(UnmappedAddressError):
+            aspace.write(cpu, va, 2)
+        with pytest.raises(UnmappedAddressError):
+            aspace.read(cpu, va)

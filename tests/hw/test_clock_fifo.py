@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.hw.clock import Clock
-from repro.hw.fifo import HardwareFifo
+from repro.hw.fifo import HardwareFifo, PushResult
 
 
 class TestClock:
@@ -62,21 +62,23 @@ class TestHardwareFifo:
 
     def test_threshold_crossing_reported(self):
         fifo = HardwareFifo(capacity=10, threshold=2)
-        assert fifo.push(0, 1) is False
-        assert fifo.push(0, 2) is False
-        assert fifo.push(0, 3) is True  # above threshold
-        assert fifo.push(0, 4) is True
+        assert fifo.push(0, 1) is PushResult.OK
+        assert fifo.push(0, 2) is PushResult.OK
+        assert fifo.push(0, 3) is PushResult.THRESHOLD  # above threshold
+        assert fifo.push(0, 4) is PushResult.THRESHOLD
 
     def test_default_threshold_is_capacity(self):
         fifo = HardwareFifo(capacity=2)
-        assert fifo.push(0, 1) is False
-        assert fifo.push(0, 2) is False
+        assert fifo.push(0, 1) is PushResult.OK
+        assert fifo.push(0, 2) is PushResult.OK
 
     def test_overflow_drops_and_counts(self):
         fifo = HardwareFifo(capacity=2, threshold=1)
         fifo.push(0, 1)
         fifo.push(0, 2)
-        assert fifo.push(0, 3) is True
+        # Hard-capacity overflow is distinguishable from a threshold
+        # crossing: the entry is lost, not queued.
+        assert fifo.push(0, 3) is PushResult.OVERFLOW
         assert fifo.overflow_count == 1
         assert len(fifo) == 2  # the third entry was lost
 
