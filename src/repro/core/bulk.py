@@ -28,6 +28,7 @@ from itertools import count as _icount, repeat as _irepeat
 from typing import TYPE_CHECKING
 
 from repro.errors import ProtectionError
+from repro.faults import plan as faultplan
 from repro.hw.bus import BusWrite
 from repro.hw.logger import LogMode
 from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
@@ -273,6 +274,10 @@ def _write_run_bus_logged(
     bus = cpu.bus
     snoopers = bus._snoopers
     if cpu.l2 is not None or len(snoopers) != 1 or snoopers[0] is not logger:
+        return False
+    if faultplan._ACTIVE is not None:
+        # The fused loop bypasses the instrumented FIFO/logger paths;
+        # fault plans need every record to visit the injection sites.
         return False
 
     segment.write_bytes(seg_offset, chunk)

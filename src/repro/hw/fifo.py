@@ -14,6 +14,7 @@ from collections import deque
 from typing import Generic, Iterator, TypeVar
 
 from repro.errors import ConfigError
+from repro.faults import plan as faultplan
 
 T = TypeVar("T")
 
@@ -80,7 +81,14 @@ class HardwareFifo(Generic[T]):
         :attr:`overflow_count` — log records are lost), and
         :attr:`PushResult.OK` otherwise.
         """
+        fp = faultplan._ACTIVE
+        if fp is not None and fp.fifo_push(self, cycle=ready_cycle):
+            # Forced drop: the record is lost exactly as a hard-capacity
+            # overflow would lose it (no crash — silent data loss).
+            self.overflow_count += 1
+            return PushResult.OVERFLOW
         if len(self._entries) >= self.capacity:
+            faultplan.hit("fifo.overflow", cycle=ready_cycle)
             self.overflow_count += 1
             return PushResult.OVERFLOW
         self._entries.append((ready_cycle, item))

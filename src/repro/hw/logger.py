@@ -29,6 +29,7 @@ from __future__ import annotations
 import enum
 from typing import Protocol
 
+from repro.faults import plan as faultplan
 from repro.hw.bus import BusWrite, SystemBus
 from repro.hw.clock import Clock
 from repro.hw.fifo import HardwareFifo, PushResult
@@ -259,6 +260,19 @@ class Logger:
         """
         entries = self.write_fifo._entries
         service = self.config.logger_service_cycles
+        if faultplan._ACTIVE is not None:
+            # Injection sites live on the generic path; route every
+            # record through _process so "logger.dma" fires per record.
+            while entries:
+                ready, write = entries[0]
+                start = ready if ready > self._service_free else self._service_free
+                complete = start + service
+                if limit is not None and complete > limit:
+                    return
+                entries.popleft()
+                self._service_free = complete
+                self._process(write, complete)
+            return
         free = self._service_free
         pmt = self.pmt
         slots = pmt._slots
@@ -371,6 +385,7 @@ class Logger:
 
     def _handle_overload(self, now: int) -> None:
         """FIFO crossed the threshold: interrupt and drain (section 3.1.3)."""
+        faultplan.hit("logger.overload", cycle=now)
         self.stats.overload_events += 1
         drain_complete = self.flush()
         if self._fault_handler is not None:
@@ -443,6 +458,8 @@ class Logger:
         else:  # INDEXED: bare 4-byte value, no address or timestamp.
             payload = (write.value & 0xFFFFFFFF).to_bytes(4, "little")
 
+        # A crash here loses a record that was latched but not yet DMA'd.
+        faultplan.hit("logger.dma", cycle=complete_cycle)
         self.bus.acquire(complete_cycle, self.config.log_dma_bus_cycles)
         self.memory.write_bytes(dest, payload)
         if lost:

@@ -13,6 +13,7 @@ spent performing the commit and truncating the log").
 from __future__ import annotations
 
 from repro.errors import AddressError
+from repro.faults import plan as faultplan
 from repro.hw.cpu import CPU
 
 #: Kernel I/O path per operation (system call, buffer management).
@@ -56,6 +57,12 @@ class RamDisk:
         """Durable write of ``data`` at ``offset``; charges ``cpu``."""
         if offset < 0 or offset + len(data) > self.size:
             raise AddressError("RAM disk write out of range")
+        fp = faultplan._ACTIVE
+        if fp is not None:
+            # May raise CrashPoint (optionally after a torn prefix or
+            # the full write reached the platter) and tracks the
+            # unflushed reorder window.
+            fp.disk_write(self, cpu, offset, data)
         self._data[offset : offset + len(data)] = data
         self.write_ops += 1
         self.bytes_written += len(data)
@@ -65,6 +72,9 @@ class RamDisk:
         """Read ``length`` bytes at ``offset``; charges ``cpu``."""
         if offset < 0 or offset + length > self.size:
             raise AddressError("RAM disk read out of range")
+        fp = faultplan._ACTIVE
+        if fp is not None:
+            fp.disk_read(self)  # a timed read is a write barrier
         self.read_ops += 1
         cpu.compute(self._transfer_cost(length))
         return bytes(self._data[offset : offset + length])

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.errors import LoggingError, TransactionError
 from repro.core.log_reader import RegionLogView
+from repro.faults import plan as faultplan
 from repro.core.log_segment import LogSegment
 from repro.core.process import Process
 from repro.core.region import StdRegion
@@ -234,6 +235,7 @@ class RLVM:
 
     def _commit(self, txn: RLVMTransaction, flush: bool = True) -> None:
         proc = self.proc
+        faultplan.hit("rvm.commit.begin", cycle=proc.now)
         self.machine.sync(proc.cpu)  # wait for in-flight log records
         all_writes = []
         for rseg in self.segments.values():
@@ -245,11 +247,14 @@ class RLVM:
                 all_writes.append((rseg.seg_id, offset, data))
             rseg.log.truncate()
         if flush:
+            faultplan.hit("rvm.commit.log", cycle=proc.now)
             if all_writes:
                 self.wal.append_writes(proc.cpu, txn.tid, all_writes)
             self.wal.append_commit(proc.cpu, txn.tid)
+            faultplan.hit("rvm.commit.durable", cycle=proc.now)
         else:
             proc.compute(NO_FLUSH_COMMIT_CYCLES)
+            faultplan.hit("rvm.commit.buffered", cycle=proc.now)
             self._pending.append((txn.tid, all_writes))
         self.committed_count += 1
         self._active_txn = None
@@ -257,6 +262,7 @@ class RLVM:
     def _abort(self, txn: RLVMTransaction) -> None:
         """Undo using the log: restore exactly the words that changed."""
         proc = self.proc
+        faultplan.hit("rvm.abort", cycle=proc.now)
         self.machine.sync(proc.cpu)
         for rseg in self.segments.values():
             records = self._txn_records(rseg, txn.tid)
@@ -281,6 +287,7 @@ class RLVM:
         """Make all no-flush commits durable in one group I/O."""
         if not self._pending:
             return
+        faultplan.hit("rvm.flush", cycle=self.proc.now)
         self.wal.append_transactions(self.proc.cpu, self._pending)
         self._pending.clear()
 
@@ -288,8 +295,14 @@ class RLVM:
     # Truncation / recovery (same durable protocol as RVM)
     # ------------------------------------------------------------------
     def truncate(self) -> None:
-        """Apply the committed WAL to the disk images and reset it."""
+        """Apply the committed WAL to the disk images and reset it.
+
+        Same crash ordering as :meth:`RVM.truncate`: images absorb every
+        committed write before the log head is durably reset, so a
+        crash anywhere in between replays the intact log idempotently.
+        """
         proc = self.proc
+        faultplan.hit("rvm.truncate.begin", cycle=proc.now)
         by_id = {r.seg_id: r for r in self.segments.values()}
         entries = list(self.wal.committed_writes())
         if entries:
@@ -298,10 +311,11 @@ class RLVM:
             rseg = by_id.get(entry.seg_id)
             if rseg is None:
                 continue
+            faultplan.hit("rvm.truncate.apply", cycle=proc.now)
             rseg.disk_image[entry.offset : entry.offset + len(entry.data)] = entry.data
             proc.compute(150)
-        self.disk.write(proc.cpu, self.disk.size - 16, b"\x00" * 16)
-        self.wal.reset()
+        faultplan.hit("rvm.truncate.applied", cycle=proc.now)
+        self.wal.reset(proc.cpu)
 
     def crash_and_recover(self, proc: Process | None = None) -> "RLVM":
         """Crash (lose volatile state) and recover from disk + WAL."""
@@ -309,6 +323,9 @@ class RLVM:
         self._pending.clear()  # unflushed commits die with the crash
         recovered = RLVM(proc, disk=self.disk, wal=self.wal)
         recovered._next_tid = self._next_tid
+        # Rediscover the durable tail as real recovery would, then
+        # replay committed transactions onto the durable images.
+        self.wal.scan_recover()
         by_id = {r.seg_id: r.disk_image for r in self.segments.values()}
         for entry in self.wal.committed_writes():
             image = by_id.get(entry.seg_id)

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.errors import TransactionError
 from repro.core.process import Process
+from repro.faults import plan as faultplan
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
 from repro.hw.params import LINE_SIZE
@@ -175,17 +176,21 @@ class Transaction:
         """
         self._check_active()
         proc = self.rvm.proc
+        faultplan.hit("rvm.commit.begin", cycle=proc.now)
         writes = []
         for rng in self._ranges:
             proc.compute(COMMIT_PER_RANGE_CYCLES)
             new = rng.rseg.segment.read_bytes(rng.offset, rng.length)
             writes.append((rng.rseg.seg_id, rng.offset, new))
         if flush:
+            faultplan.hit("rvm.commit.log", cycle=proc.now)
             if writes:
                 self.rvm.wal.append_writes(proc.cpu, self.tid, writes)
             self.rvm.wal.append_commit(proc.cpu, self.tid)
+            faultplan.hit("rvm.commit.durable", cycle=proc.now)
         else:
             proc.compute(NO_FLUSH_COMMIT_CYCLES)
+            faultplan.hit("rvm.commit.buffered", cycle=proc.now)
             self.rvm._pending.append((self.tid, writes))
         self.active = False
         self.rvm.committed_count += 1
@@ -195,6 +200,7 @@ class Transaction:
         """Restore every declared range to its pre-transaction contents."""
         self._check_active()
         proc = self.rvm.proc
+        faultplan.hit("rvm.abort", cycle=proc.now)
         for rng in reversed(self._ranges):
             rng.rseg.segment.write_bytes(rng.offset, rng.old_data)
             blocks = -(-max(rng.length, 1) // LINE_SIZE)
@@ -320,6 +326,7 @@ class RVM:
         """Make all no-flush commits durable in one group I/O."""
         if not self._pending:
             return
+        faultplan.hit("rvm.flush", cycle=self.proc.now)
         self.wal.append_transactions(self.proc.cpu, self._pending)
         self._pending.clear()
 
@@ -331,8 +338,16 @@ class RVM:
 
         This is the cost the paper notes RLVM does *not* remove: "The
         rest is spent performing the commit and truncating the log."
+
+        Crash ordering: the disk images absorb every committed write
+        *before* the log head is durably reset, and the reset happens
+        before any space is reclaimed — a crash anywhere in between
+        recovers by replaying the still-intact log (replay is
+        idempotent physical redo), never by losing or resurrecting a
+        transaction.
         """
         proc = self.proc
+        faultplan.hit("rvm.truncate.begin", cycle=proc.now)
         by_id = {r.seg_id: r for r in self.segments.values()}
         entries = list(self.wal.committed_writes())
         if entries:
@@ -342,11 +357,12 @@ class RVM:
             rseg = by_id.get(entry.seg_id)
             if rseg is None:
                 continue
+            faultplan.hit("rvm.truncate.apply", cycle=proc.now)
             rseg.disk_image[entry.offset : entry.offset + len(entry.data)] = entry.data
             proc.compute(TRUNCATE_PER_RANGE_CYCLES)
-        # Persist the new log head (one more I/O).
-        self.disk.write(proc.cpu, self.disk.size - 16, b"\x00" * 16)
-        self.wal.reset()
+        faultplan.hit("rvm.truncate.applied", cycle=proc.now)
+        # Persist the new log head (one I/O), then reclaim the space.
+        self.wal.reset(proc.cpu)
 
     # ------------------------------------------------------------------
     # Crash / recovery
@@ -363,7 +379,10 @@ class RVM:
         recovered = RVM(proc, disk=self.disk, wal=self.wal)
         recovered._next_tid = self._next_tid
         schema = [(r.name, r.size, r.disk_image) for r in self.segments.values()]
-        # Replay committed transactions onto the durable images.
+        # The in-memory tail died with the crash: rediscover the durable
+        # tail by scanning (tolerates a torn final entry), then replay
+        # committed transactions onto the durable images.
+        self.wal.scan_recover()
         by_id = {r.seg_id: (r.name, r.disk_image) for r in self.segments.values()}
         for entry in self.wal.committed_writes():
             info = by_id.get(entry.seg_id)

@@ -15,6 +15,15 @@ TEST_CONFIG = MachineConfig(memory_bytes=32 * 1024 * 1024)
 TEST_CONFIG_ONCHIP = NEXT_GENERATION.with_changes(memory_bytes=32 * 1024 * 1024)
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """A test that dies mid-injection must not poison its neighbours."""
+    yield
+    from repro.faults import plan as faultplan
+
+    faultplan.uninstall()
+
+
 @pytest.fixture
 def machine():
     """A freshly booted prototype machine, installed as current."""
