@@ -10,13 +10,12 @@ logger cycle totals.  Results are written to ``BENCH_bulk_engine.json``.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
 import pytest
 
-from conftest import print_header
+from conftest import print_header, write_bench_json
 from repro.baselines.bcopy import vm_copy
 from repro.core.log_segment import LogSegment
 from repro.core.region import StdRegion
@@ -69,25 +68,24 @@ def timed_copy(fresh_machine, use_blocks):
     wall = time.perf_counter() - t0
     contents = dst_seg.snapshot()
     records = log.read_bytes(0, log.append_offset)
-    return wall, machine_cycles(machine, log), contents, records
+    return wall, machine_cycles(machine, log), contents, records, machine
 
 
 @pytest.mark.benchmark(group="bulk_engine")
 def test_bulk_engine_speedup_and_exactness(benchmark, fresh_machine):
     def run():
-        slow_wall, slow_cycles, slow_mem, slow_recs = timed_copy(
+        slow_wall, slow_cycles, slow_mem, slow_recs, _ = timed_copy(
             fresh_machine, use_blocks=False
         )
-        fast_wall, fast_cycles, fast_mem, fast_recs = timed_copy(
+        fast_wall, fast_cycles, fast_mem, fast_recs, fast_machine = timed_copy(
             fresh_machine, use_blocks=True
         )
         return slow_wall, slow_cycles, slow_mem, slow_recs, \
-            fast_wall, fast_cycles, fast_mem, fast_recs
+            fast_wall, fast_cycles, fast_mem, fast_recs, fast_machine
 
     slow_wall, slow_cycles, slow_mem, slow_recs, \
-        fast_wall, fast_cycles, fast_mem, fast_recs = benchmark.pedantic(
-            run, rounds=1, iterations=1
-        )
+        fast_wall, fast_cycles, fast_mem, fast_recs, fast_machine = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
 
     # Exactness guard: identical contents, log records, and cycles.
     assert fast_mem == slow_mem
@@ -105,20 +103,18 @@ def test_bulk_engine_speedup_and_exactness(benchmark, fresh_machine):
     print(f"  simulated cycles (both paths): {slow_cycles['cpu_now']}")
     print(f"  log records (both paths)     : {slow_cycles['log_records']}")
 
-    RESULT_FILE.write_text(
-        json.dumps(
-            {
-                "benchmark": "bulk_engine",
-                "copy_bytes": COPY_BYTES,
-                "word_at_a_time_seconds": slow_wall,
-                "bulk_engine_seconds": fast_wall,
-                "speedup": speedup,
-                "cycles": slow_cycles,
-                "cycle_exact": True,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_json(
+        RESULT_FILE,
+        "bulk_engine",
+        {
+            "copy_bytes": COPY_BYTES,
+            "word_at_a_time_seconds": slow_wall,
+            "bulk_engine_seconds": fast_wall,
+            "speedup": speedup,
+            "cycles": slow_cycles,
+            "cycle_exact": True,
+        },
+        machine=fast_machine,
     )
 
     assert speedup >= 3.0, (

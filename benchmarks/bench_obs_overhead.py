@@ -1,0 +1,103 @@
+"""Observability overhead guard: the disabled path must cost ~nothing.
+
+Every instrumentation site in the hot paths is gated on one module
+global (``obscore._ACTIVE is None`` — the same pattern the fault layer
+uses), so a run with observability disabled should be within wall-clock
+noise of the pre-observability simulator, and a metrics-only run must
+stay cycle-identical while keeping the fused fast paths.
+
+The disabled workload is run twice to estimate run-to-run noise on this
+host, then once with metrics enabled; the enabled/disabled wall ratio
+must stay within a few multiples of that noise.  Results go to
+``BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import pytest
+
+from conftest import print_header, write_bench_json
+from repro.obs.core import Observability, installed
+from repro.obs.machine_sources import attach_machine
+from repro.obs.workloads import run_workload
+
+RESULT_FILE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+)
+
+#: Overhead ceiling: max(3x the observed disabled-path noise, 25%).
+#: The floor absorbs timer jitter on sub-second workloads; the guard is
+#: against accidental always-on work (a formatting call, a dict lookup
+#: per word), which costs integer multiples, not percents.
+NOISE_MULTIPLE = 3.0
+RATIO_FLOOR = 1.25
+
+
+def _timed_run(workload):
+    t0 = time.perf_counter()
+    summary = run_workload(workload)
+    return time.perf_counter() - t0, summary
+
+
+@pytest.mark.benchmark(group="obs_overhead")
+def test_disabled_observability_overhead_within_noise(benchmark):
+    def run():
+        disabled_a, summary_a = _timed_run("copy")
+        disabled_b, summary_b = _timed_run("copy")
+        with installed(Observability()) as obs:
+            t0 = time.perf_counter()
+            summary_m = run_workload("copy")
+            attach_machine(obs, summary_m["machine"])
+            metrics_wall = time.perf_counter() - t0
+            metrics = obs.metrics.snapshot()
+        return (disabled_a, disabled_b, metrics_wall,
+                summary_a, summary_b, summary_m, metrics)
+
+    (disabled_a, disabled_b, metrics_wall,
+     summary_a, summary_b, summary_m, metrics) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Metrics-only must not perturb the simulation at all.
+    assert summary_m["cycles"] == summary_a["cycles"] == summary_b["cycles"]
+    assert metrics["counters"]["core.bulk.write_runs_fast"] > 0
+    assert metrics["counters"].get("core.bulk.write_runs_slow", 0) == 0
+
+    base = min(disabled_a, disabled_b)
+    noise = abs(disabled_a - disabled_b) / base
+    ratio = metrics_wall / base
+    ceiling = max(1.0 + NOISE_MULTIPLE * noise, RATIO_FLOOR)
+
+    print_header(
+        "Observability overhead: 64 KiB logged copy",
+        "simulator engineering (not a paper figure)",
+    )
+    print(f"  disabled run A : {disabled_a * 1e3:9.2f} ms")
+    print(f"  disabled run B : {disabled_b * 1e3:9.2f} ms")
+    print(f"  metrics-only   : {metrics_wall * 1e3:9.2f} ms")
+    print(f"  noise estimate : {100 * noise:9.2f} %")
+    print(f"  enabled ratio  : {ratio:9.3f}x (ceiling {ceiling:.3f}x)")
+
+    write_bench_json(
+        RESULT_FILE,
+        "obs_overhead",
+        {
+            "workload": "copy",
+            "disabled_seconds": [disabled_a, disabled_b],
+            "metrics_enabled_seconds": metrics_wall,
+            "noise_fraction": noise,
+            "enabled_over_disabled": ratio,
+            "ceiling": ceiling,
+            "cycles": summary_m["cycles"],
+            "cycle_exact": True,
+        },
+        machine=summary_m["machine"],
+    )
+
+    assert ratio <= ceiling, (
+        f"metrics-enabled run {ratio:.3f}x over disabled baseline "
+        f"(ceiling {ceiling:.3f}x, noise {noise:.3%})"
+    )

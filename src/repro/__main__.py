@@ -1,8 +1,12 @@
-"""Package self-demo: ``python -m repro``.
+"""Package entry point: ``python -m repro [trace ...]``.
 
-Boots the simulated ParaDiGM machine, runs the paper's section 2.2
-example, and prints a short tour of what is in the box.
+With no arguments, boots the simulated ParaDiGM machine, runs the
+paper's section 2.2 example, and prints a short tour of what is in the
+box.  ``python -m repro trace <workload>`` captures a cycle-domain
+Perfetto trace of a canned workload (see :mod:`repro.obs.cli`).
 """
+
+import sys
 
 from repro import (
     LogSegment,
@@ -14,7 +18,7 @@ from repro import (
 )
 
 
-def main() -> None:
+def demo() -> int:
     machine = boot()
     config = machine.config
     print(f"Logged Virtual Memory reproduction v{__version__}")
@@ -39,9 +43,20 @@ def main() -> None:
         print(f"  addr={record.addr:#010x} value={record.value:#010x} "
               f"t={record.timestamp}")
     print(f"\nmachine time: {machine.time()} cycles")
-    print("\ntry the examples/ directory, `pytest tests/`, and "
+    print("\ntry the examples/ directory, `pytest tests/`, "
+          "`python -m repro trace rvm`, and "
           "`pytest benchmarks/ --benchmark-only -s`")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
+    return demo()
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

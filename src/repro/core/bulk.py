@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ProtectionError
 from repro.faults import plan as faultplan
+from repro.obs import core as obscore
 from repro.hw.bus import BusWrite
 from repro.hw.logger import LogMode
 from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
@@ -151,11 +152,19 @@ def _write_run(
             _write_run_onchip(
                 cpu, machine, pte, segment, va, chunk, steps, seg_offset, paddr_base
             )
-        elif not _write_run_bus_logged(
+        elif _write_run_bus_logged(
             cpu, machine, pte, segment, chunk, va, seg_offset, paddr_base
         ):
-            # Unusual configuration (modeled L2, extra snoopers): use
-            # the word-at-a-time path, which is always exact.
+            o = obscore._ACTIVE
+            if o is not None:
+                o.metrics.inc("core.bulk.write_runs_fast")
+        else:
+            # Unusual configuration (modeled L2, extra snoopers) or an
+            # installed fault plan / detailed tracer: use the
+            # word-at-a-time path, which is always exact.
+            o = obscore._ACTIVE
+            if o is not None:
+                o.metrics.inc("core.bulk.write_runs_slow")
             for off, size in access_steps(va, len(chunk)):
                 value = int.from_bytes(chunk[off : off + size], "little")
                 aspace.write(cpu, va + off, value, size)
@@ -278,6 +287,10 @@ def _write_run_bus_logged(
     if faultplan._ACTIVE is not None:
         # The fused loop bypasses the instrumented FIFO/logger paths;
         # fault plans need every record to visit the injection sites.
+        return False
+    if obscore.trace_detail_active():
+        # Per-word trace spans live on the generic paths; tracing falls
+        # back so the trace is cycle-identical to the untraced run.
         return False
 
     segment.write_bytes(seg_offset, chunk)

@@ -27,6 +27,7 @@ from repro.hw.params import PAGE_SIZE
 from repro.core.address_space import AddressSpace, PageTableEntry
 from repro.core.log_segment import LogSegment
 from repro.core.region import Region
+from repro.obs import core as obscore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.machine import Machine
@@ -90,6 +91,8 @@ class Kernel:
         mapping table." (section 3.2)
         """
         self.stats.page_faults += 1
+        o = obscore._ACTIVE
+        fault_start = cpu.now if o is not None else 0
         region = aspace.region_at(vaddr)
         page_index = (vaddr - region.base_va) // PAGE_SIZE
         page = region.segment.page(page_index)
@@ -109,6 +112,15 @@ class Kernel:
             cpu.compute(self.config.logged_page_fault_extra_cycles)
             self._load_logger_entries(region, pte)
         aspace.install_pte(pte)
+        if o is not None:
+            o.span(
+                "kernel",
+                "kernel.page_fault",
+                fault_start,
+                cpu.now,
+                cpu.index,
+                args={"vaddr": vaddr, "logged": logged},
+            )
         return pte
 
     def protection_fault(self, cpu: CPU, aspace, vaddr: int, pte) -> None:
@@ -120,6 +132,8 @@ class Kernel:
         (Li & Appel checkpointing).
         """
         self.stats.protection_faults += 1
+        o = obscore._ACTIVE
+        trap_start = cpu.now if o is not None else 0
         cpu.compute(self.config.protection_trap_cycles)
         region = pte.region
         handler = region.protection_handler
@@ -127,6 +141,16 @@ class Kernel:
             handler(region, vaddr)
             if pte.page_index not in region.protected_pages:
                 pte.write_protected = False
+        if o is not None:
+            o.metrics.inc("kernel.protection_traps")
+            o.span(
+                "kernel",
+                "kernel.protection_trap",
+                trap_start,
+                cpu.now,
+                cpu.index,
+                args={"vaddr": vaddr},
+            )
 
     def _load_logger_entries(self, region: Region, pte: PageTableEntry) -> None:
         """Load PMT (and direct-map) entries for a logged page."""
@@ -356,6 +380,8 @@ class Kernel:
     def _handle_overload(self, drain_complete_cycle: int) -> None:
         """Suspend all CPUs until the FIFOs have drained (section 3.1.3)."""
         self.stats.overloads += 1
-        self.machine.suspend_all_until(
-            drain_complete_cycle + self.config.overload_suspend_cycles
-        )
+        resume = drain_complete_cycle + self.config.overload_suspend_cycles
+        o = obscore._ACTIVE
+        if o is not None:
+            o.instant("kernel", "kernel.overload_suspend", drain_complete_cycle)
+        self.machine.suspend_all_until(resume)

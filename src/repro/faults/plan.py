@@ -56,14 +56,25 @@ class CrashPoint(Exception):
             None when no source was registered.
         plan_repr: ``repr`` of the firing plan — paste it back into a
             test to replay the exact same crash.
+        metrics: metrics snapshot at the crash cycle when an
+            :mod:`repro.obs` Observability was installed, else None —
+            the machine's counters as of the instant the power failed.
     """
 
-    def __init__(self, site: str, seq: int, snapshot=None, plan_repr: str = ""):
+    def __init__(
+        self,
+        site: str,
+        seq: int,
+        snapshot=None,
+        plan_repr: str = "",
+        metrics=None,
+    ):
         super().__init__(f"injected crash at site {site!r}, hit #{seq}")
         self.site = site
         self.seq = seq
         self.snapshot = snapshot
         self.plan_repr = plan_repr
+        self.metrics = metrics
 
 
 @dataclass(frozen=True)
@@ -294,7 +305,13 @@ class FaultPlan:
             else:
                 surviving.append((disk, offset, offset + len(old)))
         snapshot = self._snapshot_fn() if self._snapshot_fn is not None else None
-        raise CrashPoint(site, n, snapshot, repr(self))
+        # Imported here: obs.core imports nothing from faults, but this
+        # module is imported by hw/core modules obs itself instruments.
+        from repro.obs import core as obscore
+
+        raise CrashPoint(
+            site, n, snapshot, repr(self), obscore.metrics_snapshot_if_active()
+        )
 
 
 # ----------------------------------------------------------------------

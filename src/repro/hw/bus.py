@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from typing import NamedTuple, Optional, Protocol
 
+from repro.obs import core as obscore
+from repro.obs.trace import TID_BUS
+
 
 class BusWrite(NamedTuple):
     """A write transaction as seen on the bus.
@@ -70,6 +73,14 @@ class SystemBus:
         self._busy_until = complete
         self.total_busy_cycles += bus_cycles
         self.transaction_count += 1
+        o = obscore._ACTIVE
+        if o is not None:
+            # Contention = cycles the requester waited for the bus.
+            if start > request_cycle:
+                o.metrics.inc("hw.bus.wait_cycles", start - request_cycle)
+            tracer = o.tracer
+            if tracer is not None and "bus" in tracer.categories:
+                tracer.complete("bus", "bus.txn", start, bus_cycles, TID_BUS)
         return complete
 
     def write_transaction(

@@ -34,9 +34,12 @@ class Clock:
     def advance_to(self, cycle: int) -> int:
         """Move the machine high-water mark to ``cycle`` if later.
 
-        Returns the (possibly unchanged) current time.  Moving backwards
-        is a no-op, not an error: independent components complete work
-        out of order.
+        Contract: the return value is always the *current* machine time
+        after the call — ``max(now, cycle)`` — never the requested
+        ``cycle``.  Moving backwards is therefore a no-op that returns
+        the unchanged (later) time, not an error: independent components
+        complete work out of order, and callers that need "when did my
+        work land" must use their own completion cycle, not this return.
         """
         if cycle > self._now:
             self._now = cycle
@@ -46,7 +49,17 @@ class Clock:
         """Logger timestamp for ``cycle`` (default: now).
 
         The prototype logger timestamps records with a 6.25 MHz counter
-        (one tick per ``timestamp_divider`` cycles, section 3.1).
+        — one tick per ``timestamp_divider`` CPU cycles (4 at the 25 MHz
+        prototype clock, section 3.1).  Rounding contract: the counter
+        *floors* (``cycle // divider``), exactly like the hardware
+        register a mid-tick read would return; two writes completing
+        within the same ``divider``-cycle window carry equal timestamps.
+        This method is the single definition of that conversion — the
+        tracer and the record encoders must use it (or provably agree
+        with it; the fused hot loops inline ``cycle // divider`` and the
+        clock-contract test locks the agreement) rather than re-deriving
+        the division ad hoc.  Record fields additionally truncate to 32
+        bits (``& 0xFFFFFFFF``) when packed.
         """
         if cycle is None:
             cycle = self._now

@@ -30,6 +30,8 @@ import enum
 from typing import Protocol
 
 from repro.faults import plan as faultplan
+from repro.obs import core as obscore
+from repro.obs.trace import TID_LOGGER
 from repro.hw.bus import BusWrite, SystemBus
 from repro.hw.clock import Clock
 from repro.hw.fifo import HardwareFifo, PushResult
@@ -213,6 +215,16 @@ class Logger:
             return
         self.drain(complete_cycle)
         result = self.write_fifo.push(complete_cycle, write)
+        o = obscore._ACTIVE
+        if o is not None:
+            tracer = o.tracer
+            if tracer is not None and "logger" in tracer.categories:
+                tracer.counter(
+                    "logger",
+                    "logger.fifo_depth",
+                    complete_cycle,
+                    len(self.write_fifo._entries),
+                )
         if result is PushResult.THRESHOLD:
             self._handle_overload(complete_cycle)
         elif result is PushResult.OVERFLOW:
@@ -260,9 +272,10 @@ class Logger:
         """
         entries = self.write_fifo._entries
         service = self.config.logger_service_cycles
-        if faultplan._ACTIVE is not None:
-            # Injection sites live on the generic path; route every
-            # record through _process so "logger.dma" fires per record.
+        if faultplan._ACTIVE is not None or obscore.trace_detail_active():
+            # Injection sites and trace spans live on the generic path;
+            # route every record through _process so "logger.dma" fires
+            # per record (cycle charges are identical either way).
             while entries:
                 ready, write = entries[0]
                 start = ready if ready > self._service_free else self._service_free
@@ -388,6 +401,16 @@ class Logger:
         faultplan.hit("logger.overload", cycle=now)
         self.stats.overload_events += 1
         drain_complete = self.flush()
+        o = obscore._ACTIVE
+        if o is not None:
+            o.metrics.inc("hw.logger.overload_drains")
+            o.span(
+                "logger",
+                "logger.overload_drain",
+                now,
+                max(now, drain_complete),
+                TID_LOGGER,
+            )
         if self._fault_handler is not None:
             self._fault_handler.overload(max(now, drain_complete))
         self.clock.advance_to(drain_complete)
@@ -405,6 +428,12 @@ class Logger:
                 return
             log_index, cycles = handler.pmt_miss(write.paddr)
             self._service_free += cycles
+            o = obscore._ACTIVE
+            if o is not None:
+                # Fault service stalls the whole pipeline (the FIFO backs
+                # up behind it) — the paper's "logging fault" penalty.
+                o.metrics.inc("hw.logger.stall_cycles", cycles)
+                o.instant("logger", "logger.pmt_fault", complete_cycle, TID_LOGGER)
             # The record cannot proceed down the pipeline until the fault
             # service completes: its DMA and timestamp happen at the later
             # of the bus completion and the fault-handler return.
@@ -428,6 +457,12 @@ class Logger:
             if handler is not None:
                 new_addr, cycles = handler.log_boundary(log_index)
                 self._service_free += cycles
+                o = obscore._ACTIVE
+                if o is not None:
+                    o.metrics.inc("hw.logger.stall_cycles", cycles)
+                    o.instant(
+                        "logger", "logger.boundary_fault", complete_cycle, TID_LOGGER
+                    )
                 if self._service_free > complete_cycle:
                     complete_cycle = self._service_free
             if new_addr is None:
@@ -460,7 +495,25 @@ class Logger:
 
         # A crash here loses a record that was latched but not yet DMA'd.
         faultplan.hit("logger.dma", cycle=complete_cycle)
-        self.bus.acquire(complete_cycle, self.config.log_dma_bus_cycles)
+        dma_done = self.bus.acquire(complete_cycle, self.config.log_dma_bus_cycles)
+        o = obscore._ACTIVE
+        if o is not None:
+            tracer = o.tracer
+            if tracer is not None and "logger" in tracer.categories:
+                tracer.complete(
+                    "logger",
+                    "logger.dma",
+                    complete_cycle,
+                    dma_done - complete_cycle,
+                    TID_LOGGER,
+                    {
+                        "dest": dest,
+                        # The record's own timestamp field, via the one
+                        # Clock.timestamp definition (satellite: no
+                        # ad-hoc division at call sites).
+                        "hw_ts": self.clock.timestamp(complete_cycle),
+                    },
+                )
         self.memory.write_bytes(dest, payload)
         if lost:
             self.stats.records_dropped += 1

@@ -1,0 +1,51 @@
+"""Machine-wide observability in the simulated-cycle time domain.
+
+Three instruments over one gate:
+
+* :class:`MetricsRegistry` — counters, gauges, and histograms, fed by
+  live increments at instrumentation sites plus *polled sources* that
+  read existing component counters (bus occupancy, FIFO high water,
+  cache hit/miss, ...) only when a snapshot is taken.
+* :class:`Tracer` — Chrome trace-event / Perfetto-compatible JSON
+  whose ``ts`` values are machine cycles.
+* :class:`CycleProfiler` — attributes simulated cycles to
+  component/site and renders a flat + cumulative report.
+
+All three hang off one :class:`Observability` object installed as a
+module global (the ``faults/`` pattern): uninstrumented hot paths pay
+exactly one ``is None`` check.  See :mod:`repro.obs.core`.
+
+The CLI entry point is ``python -m repro trace <workload>``
+(:mod:`repro.obs.cli`).
+"""
+
+from repro.obs.core import (
+    Observability,
+    active,
+    install,
+    installed,
+    metrics_snapshot_if_active,
+    trace_detail_active,
+    uninstall,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import CycleProfiler
+from repro.obs.trace import Tracer, TraceFormatError, validate_trace
+
+__all__ = [
+    "Counter",
+    "CycleProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "TraceFormatError",
+    "Tracer",
+    "active",
+    "install",
+    "installed",
+    "metrics_snapshot_if_active",
+    "trace_detail_active",
+    "uninstall",
+    "validate_trace",
+]

@@ -1,0 +1,120 @@
+"""``python -m repro trace <workload>`` — capture a cycle-domain trace.
+
+Runs a canned workload (:mod:`repro.obs.workloads`) with full
+observability installed, writes a validated Perfetto-loadable trace,
+prints the cycle profiler's flat + cumulative report, and optionally
+writes the metrics snapshot as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.obs.core import Observability, installed
+from repro.obs.machine_sources import attach_machine, snapshot_machine
+from repro.obs.profiler import CycleProfiler
+from repro.obs.trace import ALL_CATEGORIES, Tracer, validate_trace
+from repro.obs.workloads import WORKLOADS, run_workload
+
+
+def run_traced(
+    workload: str,
+    categories=None,
+    with_tracer: bool = True,
+    with_profiler: bool = True,
+) -> tuple[Observability, dict]:
+    """Run ``workload`` under an installed Observability.
+
+    Returns ``(obs, summary)``; the machine source is attached after
+    boot, so the final metrics snapshot includes the polled hardware
+    counters, and the finished tracer holds one closing sample of every
+    registry counter track.
+    """
+    tracer = Tracer(categories=categories) if with_tracer else None
+    profiler = CycleProfiler() if with_profiler else None
+    obs = Observability(tracer=tracer, profiler=profiler)
+    with installed(obs):
+        summary = run_workload(workload)
+        machine = summary["machine"]
+        attach_machine(obs, machine)
+        if tracer is not None:
+            # The tracer was built before the machine existed; bind the
+            # clock now so ts annotations use Clock.timestamp.
+            tracer.clock = machine.clock
+            obs.metrics.poll()
+            obs.emit_counter_tracks(machine.clock.now)
+            obs.counter_track(
+                "metrics", "machine.cycles", machine.clock.now, machine.time()
+            )
+        obs.finalize(machine.clock.now)
+    return obs, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run a canned workload with cycle-domain tracing.",
+    )
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="trace JSON path (default: trace_<workload>.json)",
+    )
+    parser.add_argument(
+        "--categories",
+        default=None,
+        help="comma-separated trace categories "
+        f"(default: all but the chatty per-word ones; known: "
+        f"{','.join(sorted(ALL_CATEGORIES))})",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write the metrics snapshot JSON here",
+    )
+    parser.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="skip the cycle profiler report",
+    )
+    args = parser.parse_args(argv)
+
+    categories = (
+        [c for c in args.categories.split(",") if c]
+        if args.categories is not None
+        else None
+    )
+    obs, summary = run_traced(
+        args.workload, categories=categories, with_profiler=not args.no_profile
+    )
+    machine = summary.pop("machine")
+    summary.pop("log", None)
+
+    out = args.out or f"trace_{args.workload}.json"
+    doc = obs.tracer.write(out, other_data={"workload": args.workload})
+    n_events = validate_trace(doc)
+
+    print(f"workload : {args.workload}")
+    for key, value in summary.items():
+        if key != "workload":
+            print(f"{key:>9} : {value}")
+    print(f"trace    : {out} ({n_events} events, ts in machine cycles)")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+
+    if args.metrics_out:
+        snap = snapshot_machine(machine, obs)
+        with open(args.metrics_out, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics  : {args.metrics_out}")
+
+    if obs.profiler is not None:
+        print()
+        print(obs.profiler.report(total_cycles=machine.time()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""The observability gate: one module global, one ``is None`` check.
+
+Exactly the :mod:`repro.faults.plan` pattern: an :class:`Observability`
+object is installed as the module-global ``_ACTIVE``, and every
+instrumented hot path does::
+
+    o = obscore._ACTIVE
+    if o is not None:
+        ...
+
+so the *disabled* cost — the only cost the default configuration ever
+pays — is a single global load and identity test per instrumented
+operation (and most instrumentation sits on cold paths anyway).
+
+Cycle exactness under tracing: the two fused fast loops
+(``bulk._write_run_bus_logged`` and ``Logger._drain_fast``) bypass the
+per-record generic code where trace spans live.  When a tracer is
+installed they fall back to the exact generic paths — the same
+mechanism fault plans use — so an enabled trace observes a run that is
+cycle-identical to the untraced one.  Metrics-only observability keeps
+the fast paths (its counters are polled or batched) and is also
+cycle-identical; the overhead bench guards both properties.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import CycleProfiler
+from repro.obs.trace import Tracer
+
+
+class Observability:
+    """A metrics registry plus optional tracer and profiler."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        profiler: CycleProfiler | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.profiler = profiler
+        #: per-tid stack recording whether each open span emitted a 'B'
+        #: (its category was enabled) — a disabled inner span's end must
+        #: not close an enabled outer span.
+        self._traced: dict[int, list[bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Span interface: tracer (category-gated) + profiler together
+    # ------------------------------------------------------------------
+    def span_begin(self, cat: str, name: str, ts: int, tid: int = 0) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            emitted = cat in tracer.categories
+            if emitted:
+                tracer.begin(cat, name, ts, tid)
+            self._traced.setdefault(tid, []).append(emitted)
+        if self.profiler is not None:
+            self.profiler.push(name, ts, tid)
+
+    def span_end(self, ts: int, tid: int = 0, args=None) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            stack = self._traced.get(tid)
+            if stack and stack.pop():
+                tracer.end(ts, tid, args)
+        if self.profiler is not None:
+            self.profiler.pop(ts, tid)
+
+    def span(self, cat, name, start, end, tid=0, args=None) -> None:
+        """A closed (leaf) span: one 'X' event + profiler interval."""
+        tracer = self.tracer
+        if tracer is not None and cat in tracer.categories:
+            tracer.complete(cat, name, start, end - start, tid, args)
+        if self.profiler is not None:
+            self.profiler.record(name, start, end, tid)
+
+    def instant(self, cat, name, ts, tid=0, args=None) -> None:
+        tracer = self.tracer
+        if tracer is not None and cat in tracer.categories:
+            tracer.instant(cat, name, ts, tid, args)
+
+    def counter_track(self, cat, name, ts, value) -> None:
+        tracer = self.tracer
+        if tracer is not None and cat in tracer.categories:
+            tracer.counter(cat, name, ts, value)
+
+    def emit_counter_tracks(self, ts: int) -> None:
+        """Sample every registry counter onto its trace counter track."""
+        tracer = self.tracer
+        if tracer is None or "metrics" not in tracer.categories:
+            return
+        for name, counter in self.metrics._counters.items():
+            tracer.counter("metrics", name, ts, counter.value)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def finalize(self, ts: int | None = None) -> None:
+        """Close open spans in both tracer and profiler."""
+        if self.tracer is not None:
+            self.tracer.finalize(ts)
+        self._traced.clear()
+        if self.profiler is not None:
+            self.profiler.finalize(ts or 0)
+
+
+# ----------------------------------------------------------------------
+# The installed instance (module-global; hot paths check ``is None``)
+# ----------------------------------------------------------------------
+_ACTIVE: Observability | None = None
+
+
+def active() -> Observability | None:
+    """The currently installed observability, or None."""
+    return _ACTIVE
+
+
+def install(obs: Observability) -> Observability:
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ConfigError("an Observability is already installed")
+    _ACTIVE = obs
+    return obs
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def installed(obs: Observability):
+    """Install ``obs`` for the duration of the block."""
+    install(obs)
+    try:
+        yield obs
+    finally:
+        uninstall()
+
+
+def trace_detail_active() -> bool:
+    """True when per-record tracing is on, so the fused fast loops must
+    fall back to the generic per-record paths (where the spans live)."""
+    o = _ACTIVE
+    return o is not None and o.tracer is not None
+
+
+def metrics_snapshot_if_active() -> dict | None:
+    """Metrics snapshot for crash reports; None when disabled."""
+    o = _ACTIVE
+    return o.metrics.snapshot() if o is not None else None

@@ -1,0 +1,172 @@
+"""Cycle profiler: attribute simulated cycles to component/site.
+
+Sampling a simulator with a wall-clock profiler answers the wrong
+question — it shows where *Python* spends time, not where the *machine*
+spends cycles.  This profiler works in the simulated time domain: each
+instrumented site brackets its work with the CPU-local (or device-local)
+cycle clock, and nested sites form a call tree per thread, so every
+cycle lands in exactly one site's *self* time while still rolling up
+into each ancestor's *total* time — the flat + cumulative split of
+``gprof``.
+
+Cycles outside any span (ordinary compute between instrumented
+operations) are reported as ``(untracked)`` when a machine total is
+supplied to :meth:`report`.  Actors that genuinely run concurrently
+(the logger device vs the CPUs) each contribute their own busy cycles,
+so the tracked sum may legitimately exceed the machine's elapsed wall
+cycles on workloads with device parallelism.
+"""
+
+from __future__ import annotations
+
+
+class _Frame:
+    __slots__ = ("name", "start", "child_cycles")
+
+    def __init__(self, name: str, start: int) -> None:
+        self.name = name
+        self.start = start
+        self.child_cycles = 0
+
+
+class SiteStats:
+    """Aggregated cycles for one site name."""
+
+    __slots__ = ("name", "calls", "self_cycles", "total_cycles")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.self_cycles = 0
+        self.total_cycles = 0
+
+
+class CycleProfiler:
+    """Per-thread span stacks aggregating into per-site cycle totals."""
+
+    def __init__(self) -> None:
+        self._stacks: dict[int, list[_Frame]] = {}
+        #: per-tid closed top-level intervals, in emission order — an
+        #: after-the-fact parent record absorbs the contained suffix so
+        #: nesting survives crash-safe (emit-on-success) instrumentation
+        self._closed: dict[int, list[tuple[int, int]]] = {}
+        self.sites: dict[str, SiteStats] = {}
+
+    # ------------------------------------------------------------------
+    # Span interface (driven by Observability)
+    # ------------------------------------------------------------------
+    def push(self, name: str, ts: int, tid: int = 0) -> None:
+        self._stacks.setdefault(tid, []).append(_Frame(name, ts))
+
+    def pop(self, ts: int, tid: int = 0) -> None:
+        stack = self._stacks.get(tid)
+        if not stack:
+            return  # tolerate unbalanced pops (crash unwinding)
+        frame = stack.pop()
+        total = ts - frame.start
+        if total < 0:
+            total = 0
+        site = self.sites.get(frame.name)
+        if site is None:
+            site = self.sites[frame.name] = SiteStats(frame.name)
+        site.calls += 1
+        site.total_cycles += total
+        site.self_cycles += total - frame.child_cycles
+        if stack:
+            stack[-1].child_cycles += total
+        else:
+            self._closed.setdefault(tid, []).append((frame.start, ts))
+
+    def record(self, name: str, start: int, end: int, tid: int = 0) -> None:
+        """Attribute a closed interval in one call.
+
+        Most instrumentation emits spans *after* the operation succeeds
+        (so an injected crash never leaves a half-open span), which
+        means a parent's record arrives after its children's.  Nesting
+        is reconstructed by containment: contained already-closed
+        intervals on the same tid count as this record's child time.
+        Children always pop before their parent and siblings move
+        forward in time, so the absorbable intervals are exactly a
+        suffix of the closed list — the scan is O(children), and each
+        parent collapses its suffix to one entry.
+        """
+        stack = self._stacks.get(tid)
+        if stack:
+            # Nested inside a live span: the push/pop path handles it.
+            self.push(name, start, tid)
+            self.pop(end, tid)
+            return
+        if end < start:
+            end = start
+        closed = self._closed.setdefault(tid, [])
+        child = 0
+        while closed and closed[-1][0] >= start and closed[-1][1] <= end:
+            s, e = closed.pop()
+            child += e - s
+        closed.append((start, end))
+        total = end - start
+        site = self.sites.get(name)
+        if site is None:
+            site = self.sites[name] = SiteStats(name)
+        site.calls += 1
+        site.total_cycles += total
+        site.self_cycles += total - child
+
+    def finalize(self, ts: int) -> None:
+        """Close any spans left open (e.g. by an injected crash)."""
+        for tid, stack in self._stacks.items():
+            while stack:
+                self.pop(ts, tid)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def tracked_cycles(self) -> int:
+        """Cycles attributed to top-level sites (self + descendants).
+
+        Summing *self* over all sites counts every tracked cycle exactly
+        once, because a child's total is subtracted from its parent's
+        self time.
+        """
+        return sum(s.self_cycles for s in self.sites.values())
+
+    def report(self, total_cycles: int | None = None) -> str:
+        """Render the flat + cumulative table, widest self-time first."""
+        rows = sorted(
+            self.sites.values(), key=lambda s: s.self_cycles, reverse=True
+        )
+        tracked = self.tracked_cycles()
+        denom = total_cycles if total_cycles else tracked
+        lines = [
+            f"{'site':<28} {'calls':>8} {'self-cycles':>14} "
+            f"{'total-cycles':>14} {'self%':>7}",
+            "-" * 74,
+        ]
+        for s in rows:
+            pct = 100.0 * s.self_cycles / denom if denom else 0.0
+            lines.append(
+                f"{s.name:<28} {s.calls:>8} {s.self_cycles:>14} "
+                f"{s.total_cycles:>14} {pct:>6.1f}%"
+            )
+        if total_cycles is not None:
+            untracked = max(0, total_cycles - tracked)
+            pct = 100.0 * untracked / denom if denom else 0.0
+            lines.append(
+                f"{'(untracked)':<28} {'':>8} {untracked:>14} "
+                f"{'':>14} {pct:>6.1f}%"
+            )
+            lines.append("-" * 74)
+            lines.append(
+                f"{'machine total':<28} {'':>8} {total_cycles:>14}"
+            )
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict:
+        return {
+            name: {
+                "calls": s.calls,
+                "self_cycles": s.self_cycles,
+                "total_cycles": s.total_cycles,
+            }
+            for name, s in sorted(self.sites.items())
+        }

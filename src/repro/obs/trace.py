@@ -1,0 +1,297 @@
+"""Chrome trace-event / Perfetto-compatible tracing in machine cycles.
+
+The emitted document is the classic ``traceEvents`` JSON object
+(loadable by Perfetto and ``chrome://tracing``), with one deliberate
+unit change: ``ts`` and ``dur`` are *simulated machine cycles*, not
+microseconds — the machine's only honest time domain.  ``otherData``
+records the unit and the clock rate so a reader can convert.
+
+Event phases used:
+
+* ``X`` — complete span (``ts`` + ``dur``), e.g. one bus transaction.
+* ``B``/``E`` — nested spans opened/closed by ``Observability`` (e.g.
+  an RVM commit wrapping its WAL appends wrapping their disk writes).
+* ``i`` — instant (logging faults, overload interrupts).
+* ``C`` — counter track (FIFO depth, GVT, registry counters).
+* ``M`` — metadata (process/thread names).
+
+Where an event carries a hardware logger timestamp it is computed via
+:meth:`Clock.timestamp` — the single definition of the 6.25 MHz
+counter's rounding — never by ad-hoc division at the call site.
+
+Thread ids are small integers: CPU *n* traces as tid *n*; shared
+devices use the ``TID_*`` constants below.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.errors import LVMError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.clock import Clock
+
+#: Synthetic thread ids for non-CPU actors.
+TID_LOGGER = 100
+TID_BUS = 101
+TID_DISK = 102
+
+_TID_NAMES = {TID_LOGGER: "logger", TID_BUS: "bus", TID_DISK: "ramdisk"}
+
+#: Categories every instrumentation site uses.  "bus" and "logger" are
+#: chatty (one event per word on the hot paths) and are therefore not in
+#: the default set; enable them explicitly for short workloads.
+ALL_CATEGORIES = frozenset(
+    {"bus", "logger", "kernel", "vm", "txn", "wal", "disk", "timewarp", "metrics"}
+)
+DEFAULT_CATEGORIES = frozenset(
+    {"kernel", "vm", "txn", "wal", "disk", "timewarp", "metrics"}
+)
+
+
+class TraceFormatError(LVMError):
+    """A trace document violates the Chrome trace-event schema."""
+
+
+class Tracer:
+    """Collects trace events; timestamps are machine cycles."""
+
+    def __init__(
+        self,
+        clock: "Clock | None" = None,
+        categories=None,
+    ) -> None:
+        self.clock = clock
+        if categories is None:
+            self.categories = set(DEFAULT_CATEGORIES)
+        else:
+            unknown = set(categories) - ALL_CATEGORIES
+            if unknown:
+                raise TraceFormatError(
+                    f"unknown trace categories: {sorted(unknown)} "
+                    f"(known: {sorted(ALL_CATEGORIES)})"
+                )
+            self.categories = set(categories)
+        self.events: list[dict] = []
+        #: open B spans per tid (name stack, for finalize/balance)
+        self._open: dict[int, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def enabled(self, cat: str) -> bool:
+        return cat in self.categories
+
+    def hw_timestamp(self, cycle: int) -> int:
+        """The hardware logger's timestamp for ``cycle``.
+
+        Delegates to :meth:`Clock.timestamp` so the tracer's annotation
+        and the logger's record field can never round differently.
+        """
+        if self.clock is None:
+            return 0
+        return self.clock.timestamp(cycle)
+
+    def complete(self, cat, name, ts, dur, tid=0, args=None) -> None:
+        ev = {
+            "ph": "X",
+            "cat": cat,
+            "name": name,
+            "ts": ts,
+            "dur": dur,
+            "pid": 0,
+            "tid": tid,
+        }
+        if args is not None:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def begin(self, cat, name, ts, tid=0, args=None) -> None:
+        ev = {
+            "ph": "B",
+            "cat": cat,
+            "name": name,
+            "ts": ts,
+            "pid": 0,
+            "tid": tid,
+        }
+        if args is not None:
+            ev["args"] = args
+        self.events.append(ev)
+        self._open.setdefault(tid, []).append(name)
+
+    def end(self, ts, tid=0, args=None) -> None:
+        stack = self._open.get(tid)
+        if not stack:
+            raise TraceFormatError(f"span end with no open span on tid {tid}")
+        name = stack.pop()
+        ev = {"ph": "E", "cat": "", "name": name, "ts": ts, "pid": 0, "tid": tid}
+        if args is not None:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def instant(self, cat, name, ts, tid=0, args=None) -> None:
+        ev = {
+            "ph": "i",
+            "cat": cat,
+            "name": name,
+            "ts": ts,
+            "pid": 0,
+            "tid": tid,
+            "s": "t",
+        }
+        if args is not None:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def counter(self, cat, name, ts, value) -> None:
+        """Emit one sample on counter track ``name``.
+
+        ``value`` may be a number (single series) or a dict of series.
+        """
+        if not isinstance(value, dict):
+            value = {name: value}
+        self.events.append(
+            {
+                "ph": "C",
+                "cat": cat,
+                "name": name,
+                "ts": ts,
+                "pid": 0,
+                "args": value,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Document assembly
+    # ------------------------------------------------------------------
+    def finalize(self, ts: int | None = None) -> None:
+        """Close any still-open spans (e.g. after an injected crash)."""
+        if ts is None:
+            ts = self.clock.now if self.clock is not None else 0
+        for tid, stack in self._open.items():
+            while stack:
+                name = stack.pop()
+                self.events.append(
+                    {
+                        "ph": "E",
+                        "cat": "",
+                        "name": name,
+                        "ts": ts,
+                        "pid": 0,
+                        "tid": tid,
+                    }
+                )
+
+    def _metadata_events(self) -> list[dict]:
+        meta = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "simulated machine"},
+            }
+        ]
+        tids = {ev.get("tid", 0) for ev in self.events}
+        for tid in sorted(t for t in tids if isinstance(t, int)):
+            name = _TID_NAMES.get(tid, f"cpu{tid}")
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        return meta
+
+    def to_json(self, other_data: dict | None = None) -> dict:
+        self.finalize()
+        other = {"time_unit": "machine cycles"}
+        if self.clock is not None:
+            other["final_cycle"] = self.clock.now
+        if other_data:
+            other.update(other_data)
+        return {
+            "traceEvents": self._metadata_events() + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": other,
+        }
+
+    def write(self, path, other_data: dict | None = None) -> dict:
+        doc = self.to_json(other_data)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        return doc
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by tests and the CI obs job)
+# ----------------------------------------------------------------------
+_REQUIRED = {"ph", "name", "pid"}
+_PHASES = {"X", "B", "E", "i", "C", "M"}
+
+
+def validate_trace(doc: dict) -> int:
+    """Validate ``doc`` against the Chrome trace-event JSON schema.
+
+    Checks the containing object, per-phase required fields, timestamp
+    sanity (non-negative integers, ``dur >= 0``), and B/E balance per
+    thread.  Returns the number of events; raises
+    :class:`TraceFormatError` with every problem found otherwise.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise TraceFormatError("trace must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceFormatError("'traceEvents' must be a list")
+    open_spans: dict[tuple, int] = {}
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = _REQUIRED - ev.keys()
+        if missing:
+            problems.append(f"{where}: missing {sorted(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            problems.append(f"{where}: 'name' must be a non-empty string")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, int) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a non-negative int")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a non-negative int")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: counter event needs dict 'args'")
+        if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t/p/g")
+        key = (ev["pid"], ev.get("tid", 0))
+        if ph == "B":
+            open_spans[key] = open_spans.get(key, 0) + 1
+        elif ph == "E":
+            if open_spans.get(key, 0) <= 0:
+                problems.append(f"{where}: 'E' without matching 'B' on {key}")
+            else:
+                open_spans[key] -= 1
+    for key, depth in open_spans.items():
+        if depth:
+            problems.append(f"{depth} unclosed 'B' span(s) on {key}")
+    if problems:
+        raise TraceFormatError(
+            "invalid trace document:\n  " + "\n  ".join(problems)
+        )
+    return len(events)

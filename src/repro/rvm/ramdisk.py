@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.errors import AddressError
 from repro.faults import plan as faultplan
 from repro.hw.cpu import CPU
+from repro.obs import core as obscore
 
 #: Kernel I/O path per operation (system call, buffer management).
 #: Calibrated so that the four log I/Os of a TPC-A transaction (redo
@@ -63,10 +64,28 @@ class RamDisk:
             # the full write reached the platter) and tracks the
             # unflushed reorder window.
             fp.disk_write(self, cpu, offset, data)
+        o = obscore._ACTIVE
+        start_cycle = cpu.now if o is not None else 0
         self._data[offset : offset + len(data)] = data
         self.write_ops += 1
         self.bytes_written += len(data)
         cpu.compute(self._transfer_cost(len(data)))
+        if o is not None:
+            # After the data lands: a CrashPoint in the fault hook must
+            # not leave a span for an I/O that never happened.
+            o.metrics.inc("rvm.disk.writes")
+            o.metrics.inc("rvm.disk.bytes_written", len(data))
+            # The I/O cost is charged to the issuing CPU (a RAM disk has
+            # no concurrent transfer engine), so the span lives on the
+            # CPU's track and nests under wal.append / rvm.commit.
+            o.span(
+                "disk",
+                "disk.write",
+                start_cycle,
+                cpu.now,
+                cpu.index,
+                args={"bytes": len(data)},
+            )
 
     def read(self, cpu: CPU, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at ``offset``; charges ``cpu``."""
@@ -75,8 +94,20 @@ class RamDisk:
         fp = faultplan._ACTIVE
         if fp is not None:
             fp.disk_read(self)  # a timed read is a write barrier
+        o = obscore._ACTIVE
+        start_cycle = cpu.now if o is not None else 0
         self.read_ops += 1
         cpu.compute(self._transfer_cost(length))
+        if o is not None:
+            o.metrics.inc("rvm.disk.reads")
+            o.span(
+                "disk",
+                "disk.read",
+                start_cycle,
+                cpu.now,
+                cpu.index,
+                args={"bytes": length},
+            )
         return bytes(self._data[offset : offset + length])
 
     def peek(self, offset: int, length: int) -> bytes:

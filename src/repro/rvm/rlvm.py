@@ -34,6 +34,7 @@ from repro.core.log_segment import LogSegment
 from repro.core.process import Process
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
+from repro.obs import core as obscore
 from repro.rvm.ramdisk import RamDisk
 from repro.rvm.rvm import DEFAULT_DISK_BYTES
 from repro.rvm.wal import WriteAheadLog
@@ -93,6 +94,7 @@ class RLVMTransaction:
         self.rlvm = rlvm
         self.tid = tid
         self.active = True
+        self._begin_cycle = rlvm.proc.now if obscore._ACTIVE is not None else 0
 
     def write(self, vaddr: int, value: int, size: int = 4) -> None:
         """Store into recoverable memory — an ordinary logged write."""
@@ -235,6 +237,8 @@ class RLVM:
 
     def _commit(self, txn: RLVMTransaction, flush: bool = True) -> None:
         proc = self.proc
+        o = obscore._ACTIVE
+        commit_start = proc.now if o is not None else 0
         faultplan.hit("rvm.commit.begin", cycle=proc.now)
         self.machine.sync(proc.cpu)  # wait for in-flight log records
         all_writes = []
@@ -258,10 +262,23 @@ class RLVM:
             self._pending.append((txn.tid, all_writes))
         self.committed_count += 1
         self._active_txn = None
+        if o is not None:
+            o.metrics.inc("rvm.commits")
+            o.metrics.observe("rvm.txn_cycles", proc.now - txn._begin_cycle)
+            o.span(
+                "txn",
+                "rlvm.commit",
+                commit_start,
+                proc.now,
+                proc.cpu.index,
+                args={"tid": txn.tid, "records": len(all_writes), "flush": flush},
+            )
 
     def _abort(self, txn: RLVMTransaction) -> None:
         """Undo using the log: restore exactly the words that changed."""
         proc = self.proc
+        o = obscore._ACTIVE
+        abort_start = proc.now if o is not None else 0
         faultplan.hit("rvm.abort", cycle=proc.now)
         self.machine.sync(proc.cpu)
         for rseg in self.segments.values():
@@ -274,6 +291,17 @@ class RLVM:
             rseg.log.truncate()
         self.aborted_count += 1
         self._active_txn = None
+        if o is not None:
+            o.metrics.inc("rvm.aborts")
+            o.metrics.observe("rvm.txn_cycles", proc.now - txn._begin_cycle)
+            o.span(
+                "txn",
+                "rlvm.abort",
+                abort_start,
+                proc.now,
+                proc.cpu.index,
+                args={"tid": txn.tid},
+            )
 
     # ------------------------------------------------------------------
     # Lazy flush (Coda no-flush mode)
@@ -287,9 +315,22 @@ class RLVM:
         """Make all no-flush commits durable in one group I/O."""
         if not self._pending:
             return
+        o = obscore._ACTIVE
+        flush_start = self.proc.now if o is not None else 0
+        pending = len(self._pending)
         faultplan.hit("rvm.flush", cycle=self.proc.now)
         self.wal.append_transactions(self.proc.cpu, self._pending)
         self._pending.clear()
+        if o is not None:
+            o.metrics.inc("rvm.flushes")
+            o.span(
+                "txn",
+                "rlvm.flush",
+                flush_start,
+                self.proc.now,
+                self.proc.cpu.index,
+                args={"pending_commits": pending},
+            )
 
     # ------------------------------------------------------------------
     # Truncation / recovery (same durable protocol as RVM)
@@ -302,6 +343,8 @@ class RLVM:
         crash anywhere in between replays the intact log idempotently.
         """
         proc = self.proc
+        o = obscore._ACTIVE
+        truncate_start = proc.now if o is not None else 0
         faultplan.hit("rvm.truncate.begin", cycle=proc.now)
         by_id = {r.seg_id: r for r in self.segments.values()}
         entries = list(self.wal.committed_writes())
@@ -316,6 +359,16 @@ class RLVM:
             proc.compute(150)
         faultplan.hit("rvm.truncate.applied", cycle=proc.now)
         self.wal.reset(proc.cpu)
+        if o is not None:
+            o.metrics.inc("rvm.truncates")
+            o.span(
+                "txn",
+                "rlvm.truncate",
+                truncate_start,
+                proc.now,
+                proc.cpu.index,
+                args={"entries_applied": len(entries)},
+            )
 
     def crash_and_recover(self, proc: Process | None = None) -> "RLVM":
         """Crash (lose volatile state) and recover from disk + WAL."""

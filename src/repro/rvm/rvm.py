@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from repro.errors import TransactionError
 from repro.core.process import Process
 from repro.faults import plan as faultplan
+from repro.obs import core as obscore
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
 from repro.hw.params import LINE_SIZE
@@ -99,6 +100,7 @@ class Transaction:
         self.tid = tid
         self.active = True
         self._ranges: list[_Range] = []
+        self._begin_cycle = rvm.proc.now if obscore._ACTIVE is not None else 0
 
     # ------------------------------------------------------------------
     # The Coda API
@@ -112,6 +114,8 @@ class Transaction:
         self._check_active()
         proc = self.rvm.proc
         rseg, offset = self.rvm._locate(vaddr)
+        o = obscore._ACTIVE
+        range_start = proc.now if o is not None else 0
         old = rseg.segment.read_bytes(offset, length)
         self._ranges.append(_Range(rseg, offset, length, old))
         blocks = -(-max(length, 1) // LINE_SIZE)
@@ -120,6 +124,16 @@ class Transaction:
             + UNDO_COPY_PER_BLOCK_CYCLES * blocks
             + REDO_RECORD_CYCLES
         )
+        if o is not None:
+            o.metrics.inc("rvm.set_ranges")
+            o.span(
+                "txn",
+                "rvm.set_range",
+                range_start,
+                proc.now,
+                proc.cpu.index,
+                args={"length": length},
+            )
 
     def write(self, vaddr: int, value: int, size: int = 4) -> None:
         """Store into recoverable memory; must be covered by a set_range."""
@@ -176,6 +190,8 @@ class Transaction:
         """
         self._check_active()
         proc = self.rvm.proc
+        o = obscore._ACTIVE
+        commit_start = proc.now if o is not None else 0
         faultplan.hit("rvm.commit.begin", cycle=proc.now)
         writes = []
         for rng in self._ranges:
@@ -195,11 +211,24 @@ class Transaction:
         self.active = False
         self.rvm.committed_count += 1
         self.rvm._txn_finished(self)
+        if o is not None:
+            o.metrics.inc("rvm.commits")
+            o.metrics.observe("rvm.txn_cycles", proc.now - self._begin_cycle)
+            o.span(
+                "txn",
+                "rvm.commit",
+                commit_start,
+                proc.now,
+                proc.cpu.index,
+                args={"tid": self.tid, "ranges": len(writes), "flush": flush},
+            )
 
     def abort(self) -> None:
         """Restore every declared range to its pre-transaction contents."""
         self._check_active()
         proc = self.rvm.proc
+        o = obscore._ACTIVE
+        abort_start = proc.now if o is not None else 0
         faultplan.hit("rvm.abort", cycle=proc.now)
         for rng in reversed(self._ranges):
             rng.rseg.segment.write_bytes(rng.offset, rng.old_data)
@@ -208,6 +237,17 @@ class Transaction:
         self.active = False
         self.rvm.aborted_count += 1
         self.rvm._txn_finished(self)
+        if o is not None:
+            o.metrics.inc("rvm.aborts")
+            o.metrics.observe("rvm.txn_cycles", proc.now - self._begin_cycle)
+            o.span(
+                "txn",
+                "rvm.abort",
+                abort_start,
+                proc.now,
+                proc.cpu.index,
+                args={"tid": self.tid, "ranges": len(self._ranges)},
+            )
 
     # ------------------------------------------------------------------
     # Internals
@@ -326,9 +366,22 @@ class RVM:
         """Make all no-flush commits durable in one group I/O."""
         if not self._pending:
             return
+        o = obscore._ACTIVE
+        flush_start = self.proc.now if o is not None else 0
+        pending = len(self._pending)
         faultplan.hit("rvm.flush", cycle=self.proc.now)
         self.wal.append_transactions(self.proc.cpu, self._pending)
         self._pending.clear()
+        if o is not None:
+            o.metrics.inc("rvm.flushes")
+            o.span(
+                "txn",
+                "rvm.flush",
+                flush_start,
+                self.proc.now,
+                self.proc.cpu.index,
+                args={"pending_commits": pending},
+            )
 
     # ------------------------------------------------------------------
     # Log truncation
@@ -347,6 +400,8 @@ class RVM:
         transaction.
         """
         proc = self.proc
+        o = obscore._ACTIVE
+        truncate_start = proc.now if o is not None else 0
         faultplan.hit("rvm.truncate.begin", cycle=proc.now)
         by_id = {r.seg_id: r for r in self.segments.values()}
         entries = list(self.wal.committed_writes())
@@ -363,6 +418,16 @@ class RVM:
         faultplan.hit("rvm.truncate.applied", cycle=proc.now)
         # Persist the new log head (one I/O), then reclaim the space.
         self.wal.reset(proc.cpu)
+        if o is not None:
+            o.metrics.inc("rvm.truncates")
+            o.span(
+                "txn",
+                "rvm.truncate",
+                truncate_start,
+                proc.now,
+                proc.cpu.index,
+                args={"entries_applied": len(entries)},
+            )
 
     # ------------------------------------------------------------------
     # Crash / recovery

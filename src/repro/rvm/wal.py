@@ -43,6 +43,7 @@ from typing import Iterator
 from repro.errors import RecoveryError
 from repro.faults import plan as faultplan
 from repro.hw.cpu import CPU
+from repro.obs import core as obscore
 from repro.rvm.ramdisk import RamDisk
 
 _HEADER = struct.Struct("<IBI")
@@ -103,9 +104,24 @@ class WriteAheadLog:
                 cycle=cpu.now,
                 partial=lambda: self.disk.poke(base, frame[: _HEADER.size]),
             )
+        o = obscore._ACTIVE
+        start_cycle = cpu.now if o is not None else 0
         self.disk.write(cpu, self.base + self.tail, frame + _TERMINATOR)
         self.tail += len(frame)
         self.appends += 1
+        if o is not None:
+            # Emitted only after the write lands, so a CrashPoint raised
+            # inside the fault hook never leaves a dangling span.
+            o.metrics.inc("rvm.wal.appends")
+            o.metrics.inc("rvm.wal.bytes", len(frame))
+            o.span(
+                "wal",
+                "wal.append",
+                start_cycle,
+                cpu.now,
+                cpu.index,
+                args={"kind": kind.name, "bytes": len(frame)},
+            )
 
     def append_begin(self, cpu: CPU, tid: int) -> None:
         self._append(cpu, EntryKind.BEGIN, _TID.pack(tid))
@@ -141,6 +157,9 @@ class WriteAheadLog:
             raise RecoveryError("write-ahead log is full; truncate first")
         self._group_write(cpu, frames, first_len)
         self.appends += 1
+        o = obscore._ACTIVE
+        if o is not None:
+            o.metrics.observe("rvm.wal.group_entries", len(writes))
 
     def append_transactions(
         self, cpu: CPU, txns: list[tuple[int, list[tuple[int, int, bytes]]]]
@@ -174,6 +193,12 @@ class WriteAheadLog:
             raise RecoveryError("write-ahead log is full; truncate first")
         self._group_write(cpu, frames, first_txn_len)
         self.appends += 1
+        o = obscore._ACTIVE
+        if o is not None:
+            o.metrics.observe(
+                "rvm.wal.group_entries",
+                sum(len(writes) + 1 for _tid, writes in txns),
+            )
 
     def _group_write(self, cpu: CPU, frames: bytes, first_len: int) -> None:
         """One group I/O for ``frames``; torn mode keeps only the first
@@ -185,8 +210,22 @@ class WriteAheadLog:
                 cycle=cpu.now,
                 partial=lambda: self.disk.poke(base, frames[:first_len]),
             )
+        o = obscore._ACTIVE
+        start_cycle = cpu.now if o is not None else 0
         self.disk.write(cpu, self.base + self.tail, frames + _TERMINATOR)
         self.tail += len(frames)
+        if o is not None:
+            o.metrics.inc("rvm.wal.appends")
+            o.metrics.inc("rvm.wal.bytes", len(frames))
+            o.metrics.observe("rvm.wal.group_bytes", len(frames))
+            o.span(
+                "wal",
+                "wal.append_group",
+                start_cycle,
+                cpu.now,
+                cpu.index,
+                args={"bytes": len(frames)},
+            )
 
     def reset(self, cpu: CPU | None = None) -> None:
         """Discard all entries (after truncation has applied them).

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.errors import SimulationError
 from repro.core.context import boot, use_machine
 from repro.core.process import create_process
+from repro.obs import core as obscore
 from repro.hw.machine import Machine
 from repro.hw.params import MachineConfig
 from repro.timewarp.event import Event, Message
@@ -186,6 +187,12 @@ class TimeWarpSimulation:
             self.gvt = gvt
             for sched in self.schedulers:
                 sched.fossil_collect(gvt)
+            o = obscore._ACTIVE
+            if o is not None:
+                o.metrics.set_gauge("tw.gvt", gvt)
+                o.counter_track(
+                    "timewarp", "tw.gvt", self.machine.clock.now, gvt
+                )
 
     # ------------------------------------------------------------------
     # The executive loop

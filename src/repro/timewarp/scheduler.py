@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.core.process import Process
+from repro.obs import core as obscore
 from repro.timewarp.event import Event, EventKey, Message
 from repro.timewarp.state_saving import StateSaver
 from repro.timewarp.workloads import SimulationModel, event_hash
@@ -185,6 +186,8 @@ class Scheduler:
         if key is None or key.recv_time > self.sim.end_time:
             return False
         _, event = heapq.heappop(self._queue)
+        o = obscore._ACTIVE
+        step_start = self.proc.now if o is not None else 0
         self.proc.compute(DISPATCH_CYCLES)
         if event.recv_time != self.lvt:
             self.lvt = event.recv_time
@@ -200,6 +203,20 @@ class Scheduler:
         self._current = None
         self.processed.append(record)
         self.events_processed += 1
+        if o is not None:
+            o.metrics.inc("tw.events")
+            o.span(
+                "timewarp",
+                "tw.event",
+                step_start,
+                self.proc.now,
+                self.proc.cpu.index,
+                args={
+                    "vt": event.recv_time,
+                    "obj": event.dest_obj,
+                    "sends": len(record.sends),
+                },
+            )
         return True
 
     def emit(self, message: Message) -> None:
@@ -215,6 +232,8 @@ class Scheduler:
     def rollback(self, vt: int) -> None:
         """Undo every processed event with receive time >= ``vt``."""
         self.rollback_count += 1
+        o = obscore._ACTIVE
+        rollback_start = self.proc.now if o is not None else 0
         undone: list[ProcessedEvent] = []
         while self.processed and self.processed[-1].event.recv_time >= vt:
             undone.append(self.processed.pop())
@@ -227,12 +246,26 @@ class Scheduler:
         for record in undone:
             self.enqueue(record.event)
         # Then cancel the sends of undone events with antimessages.
+        antimessages = 0
         for record in undone:
             for message in record.sends:
                 self.sim.transmit(self, message.negative())
+                antimessages += 1
         # Restore memory state.
         self.saver.rollback(vt)
         self.lvt = self.processed[-1].event.recv_time if self.processed else 0
+        if o is not None:
+            o.metrics.inc("tw.rollbacks")
+            o.metrics.inc("tw.antimessages", antimessages)
+            o.metrics.observe("tw.rollback_depth", len(undone))
+            o.span(
+                "timewarp",
+                "tw.rollback",
+                rollback_start,
+                self.proc.now,
+                self.proc.cpu.index,
+                args={"vt": vt, "undone": len(undone), "antimessages": antimessages},
+            )
 
     # ------------------------------------------------------------------
     # GVT / fossil collection

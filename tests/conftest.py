@@ -24,6 +24,15 @@ def _no_leaked_fault_plan():
     faultplan.uninstall()
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_observability():
+    """Same for an Observability a test installed and failed to remove."""
+    yield
+    from repro.obs import core as obscore
+
+    obscore.uninstall()
+
+
 @pytest.fixture
 def machine():
     """A freshly booted prototype machine, installed as current."""

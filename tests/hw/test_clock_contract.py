@@ -1,0 +1,87 @@
+"""Contract tests for :class:`repro.hw.clock.Clock`.
+
+Two contracts drifted between docstring and behaviour in the past and
+are locked here:
+
+* ``advance_to`` returns the machine time *after* the call —
+  ``max(now, cycle)`` — never the requested cycle;
+* ``timestamp`` is the single definition of the 6.25 MHz logger counter
+  (floor division by ``timestamp_divider``), and the fused hot loops
+  that inline the division must agree with it bit for bit.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.clock import Clock
+from repro.hw.params import MachineConfig
+
+
+class TestAdvanceToContract:
+    def test_forward_returns_requested_cycle(self):
+        clock = Clock()
+        assert clock.advance_to(100) == 100
+        assert clock.now == 100
+
+    def test_backwards_is_noop_returning_later_time(self):
+        # The documented contract: independent components complete work
+        # out of order, so moving backwards returns the unchanged high
+        # water mark — NOT the requested cycle, and NOT an error.
+        clock = Clock()
+        clock.advance_to(500)
+        assert clock.advance_to(200) == 500
+        assert clock.now == 500
+
+    def test_equal_cycle_returns_same_time(self):
+        clock = Clock()
+        clock.advance_to(42)
+        assert clock.advance_to(42) == 42
+
+    def test_return_value_is_always_now(self):
+        # Callers that need "when did my work land" must use their own
+        # completion cycle; the return value is only ever machine time.
+        clock = Clock()
+        for cycle in (10, 5, 30, 30, 7, 100):
+            assert clock.advance_to(cycle) == clock.now
+
+
+class TestTimestampCounter:
+    def test_floor_rounding_within_tick_window(self):
+        # One tick per `timestamp_divider` cycles: every cycle inside a
+        # window reads the same counter value (a mid-tick hardware read).
+        clock = Clock(timestamp_divider=4)
+        assert [clock.timestamp(c) for c in range(8)] == [
+            0, 0, 0, 0, 1, 1, 1, 1,
+        ]
+
+    def test_rate_is_6_25_mhz_at_prototype_clock(self):
+        # 25 MHz CPU clock / divider 4 = 6.25 MHz counter (section 3.1).
+        config = MachineConfig()
+        assert config.clock_hz == 25_000_000
+        assert config.timestamp_divider == 4
+        clock = Clock(config.timestamp_divider)
+        one_second_of_cycles = config.clock_hz
+        assert clock.timestamp(one_second_of_cycles) == 6_250_000
+
+    def test_defaults_to_current_machine_time(self):
+        clock = Clock(timestamp_divider=4)
+        clock.advance_to(43)
+        assert clock.timestamp() == clock.timestamp(43) == 10
+
+    def test_divider_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            Clock(timestamp_divider=0)
+
+    @pytest.mark.parametrize("divider", [1, 2, 4, 8])
+    def test_fused_loop_inline_division_agrees(self, divider):
+        # The fused drain/bulk loops inline `(cycle // divider) &
+        # 0xFFFFFFFF` instead of calling Clock.timestamp (attribute
+        # loads cost on the hot path).  This locks the agreement: the
+        # inline form must equal the single definition, including at
+        # the 32-bit record-field truncation boundary.
+        clock = Clock(timestamp_divider=divider)
+        cycles = [0, 1, divider - 1, divider, 1_000_003,
+                  (1 << 32) * divider - 1, (1 << 32) * divider + 7]
+        for cycle in cycles:
+            inline = (cycle // divider) & 0xFFFFFFFF
+            assert inline == clock.timestamp(cycle) & 0xFFFFFFFF

@@ -1,0 +1,78 @@
+"""MetricsRegistry: instruments, polled sources, snapshots."""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_sets(self):
+        g = Gauge("x")
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_aggregates(self):
+        h = Histogram("x")
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 106
+        assert h.min == 1
+        assert h.max == 100
+        assert h.mean == 106 / 4
+
+    def test_histogram_power_of_two_buckets(self):
+        h = Histogram("x")
+        # bucket k counts values in [2^(k-1), 2^k)
+        h.observe(1)  # bit_length 1
+        h.observe(2)  # bit_length 2
+        h.observe(3)  # bit_length 2
+        h.observe(1000)  # bit_length 10
+        assert h.buckets == {1: 1, 2: 2, 10: 1}
+        snap = h.snapshot()
+        assert snap["buckets"] == {"<2^1": 1, "<2^2": 2, "<2^10": 1}
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_shorthands(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.observe("h", 16)
+        reg.set_gauge("g", 9)
+        assert reg.value("c") == 5
+        assert reg.value("g") == 9
+        assert reg.value("missing", default=-1) == -1
+        assert reg.histogram("h").count == 1
+
+    def test_polled_source_runs_at_snapshot(self):
+        reg = MetricsRegistry()
+        calls = []
+        reg.add_source(lambda r: (calls.append(1), r.set_gauge("polled", 123)))
+        assert calls == []  # zero cost during the run
+        snap = reg.snapshot()
+        assert calls == [1]
+        assert snap["gauges"]["polled"] == 123
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.inc("z.second")
+        reg.inc("a.first")
+        reg.observe("lat", 10)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a.first", "z.second"]
+        assert snap["histograms"]["lat"]["count"] == 1

@@ -1,0 +1,85 @@
+"""CycleProfiler: flat + cumulative attribution in the cycle domain."""
+
+from repro.obs.profiler import CycleProfiler
+
+
+class TestCycleProfiler:
+    def test_flat_leaf_interval(self):
+        p = CycleProfiler()
+        p.record("disk.write", 100, 160)
+        s = p.sites["disk.write"]
+        assert (s.calls, s.self_cycles, s.total_cycles) == (1, 60, 60)
+
+    def test_nested_spans_split_self_and_total(self):
+        p = CycleProfiler()
+        p.push("commit", 0)
+        p.record("wal.append", 10, 40)  # child: 30 cycles
+        p.pop(100)
+        commit = p.sites["commit"]
+        assert commit.total_cycles == 100
+        assert commit.self_cycles == 70  # 100 - child's 30
+        assert p.sites["wal.append"].self_cycles == 30
+        # Every cycle counted exactly once across self times.
+        assert p.tracked_cycles() == 100
+
+    def test_per_tid_stacks_are_independent(self):
+        p = CycleProfiler()
+        p.push("cpu0.work", 0, tid=0)
+        p.push("logger.drain", 5, tid=100)
+        p.pop(25, tid=100)
+        p.pop(50, tid=0)
+        # tid 100's span must not register as a child of tid 0's.
+        assert p.sites["cpu0.work"].self_cycles == 50
+        assert p.sites["logger.drain"].self_cycles == 20
+
+    def test_after_the_fact_parent_absorbs_closed_children(self):
+        # Crash-safe instrumentation emits spans only after an operation
+        # succeeds, so children are recorded before their parent.
+        p = CycleProfiler()
+        p.record("disk.write", 10, 40)
+        p.record("disk.write", 50, 70)
+        p.record("wal.append", 5, 80)
+        p.record("rvm.commit", 0, 100)
+        assert p.sites["disk.write"].self_cycles == 50
+        assert p.sites["wal.append"].self_cycles == 25  # 75 - 50
+        assert p.sites["rvm.commit"].self_cycles == 25  # 100 - 75
+        assert p.tracked_cycles() == 100
+
+    def test_unbalanced_pop_tolerated(self):
+        p = CycleProfiler()
+        p.pop(10)  # crash unwinding may pop an empty stack
+        assert p.sites == {}
+
+    def test_negative_interval_clamped(self):
+        p = CycleProfiler()
+        p.record("x", 100, 90)
+        assert p.sites["x"].total_cycles == 0
+
+    def test_finalize_closes_open_spans(self):
+        p = CycleProfiler()
+        p.push("a", 0)
+        p.push("b", 10)
+        p.finalize(100)
+        assert p.sites["a"].total_cycles == 100
+        assert p.sites["b"].total_cycles == 90
+        assert not any(p._stacks.values())
+
+    def test_report_flat_cumulative_untracked(self):
+        p = CycleProfiler()
+        p.record("hot", 0, 600)
+        p.record("cold", 600, 700)
+        text = p.report(total_cycles=1000)
+        lines = text.splitlines()
+        # Sorted by self time, widest first.
+        assert lines[2].startswith("hot")
+        assert lines[3].startswith("cold")
+        assert "(untracked)" in text
+        assert "300" in text  # 1000 - 700 tracked
+        assert "machine total" in text
+
+    def test_snapshot_is_json_ready(self):
+        p = CycleProfiler()
+        p.record("x", 0, 10)
+        assert p.snapshot() == {
+            "x": {"calls": 1, "self_cycles": 10, "total_cycles": 10}
+        }

@@ -1,0 +1,143 @@
+"""Tracer event emission and Chrome trace-event schema validation."""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.obs.trace import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    TID_LOGGER,
+    TraceFormatError,
+    Tracer,
+    validate_trace,
+)
+
+
+class TestTracer:
+    def test_default_categories_exclude_chatty_ones(self):
+        t = Tracer()
+        assert t.categories == set(DEFAULT_CATEGORIES)
+        assert "bus" not in t.categories
+        assert "logger" not in t.categories
+        assert DEFAULT_CATEGORIES < ALL_CATEGORIES
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown trace categories"):
+            Tracer(categories=["bus", "nonsense"])
+
+    def test_complete_event(self):
+        t = Tracer(categories=["bus"])
+        t.complete("bus", "bus.txn", 10, 5, TID_LOGGER, {"k": 1})
+        (ev,) = t.events
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 10 and ev["dur"] == 5
+        assert ev["tid"] == TID_LOGGER
+        assert ev["args"] == {"k": 1}
+
+    def test_begin_end_pairing(self):
+        t = Tracer(categories=["txn"])
+        t.begin("txn", "outer", 0, tid=1)
+        t.begin("txn", "inner", 5, tid=1)
+        t.end(8, tid=1)
+        t.end(10, tid=1)
+        phases = [(ev["ph"], ev["name"]) for ev in t.events]
+        assert phases == [
+            ("B", "outer"), ("B", "inner"), ("E", "inner"), ("E", "outer")
+        ]
+
+    def test_end_without_begin_raises(self):
+        t = Tracer()
+        with pytest.raises(TraceFormatError, match="no open span"):
+            t.end(1)
+
+    def test_counter_wraps_scalar_value(self):
+        t = Tracer(categories=["metrics"])
+        t.counter("metrics", "fifo", 3, 9)
+        assert t.events[0]["args"] == {"fifo": 9}
+        t.counter("metrics", "multi", 4, {"a": 1, "b": 2})
+        assert t.events[1]["args"] == {"a": 1, "b": 2}
+
+    def test_finalize_closes_open_spans(self):
+        t = Tracer(categories=["txn"])
+        t.begin("txn", "crashing", 0)
+        t.finalize(99)
+        assert t.events[-1]["ph"] == "E"
+        assert t.events[-1]["ts"] == 99
+        validate_trace(t.to_json())
+
+    def test_hw_timestamp_uses_clock(self):
+        clock = Clock(timestamp_divider=4)
+        t = Tracer(clock=clock)
+        assert t.hw_timestamp(103) == clock.timestamp(103) == 25
+        assert Tracer().hw_timestamp(103) == 0  # clock unbound
+
+    def test_to_json_shape(self):
+        clock = Clock()
+        clock.advance_to(500)
+        t = Tracer(clock=clock, categories=["txn"])
+        t.complete("txn", "work", 0, 500, tid=0)
+        doc = t.to_json(other_data={"workload": "unit"})
+        assert doc["otherData"]["time_unit"] == "machine cycles"
+        assert doc["otherData"]["final_cycle"] == 500
+        assert doc["otherData"]["workload"] == "unit"
+        names = [ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        assert "process_name" in names and "thread_name" in names
+        assert validate_trace(doc) == len(doc["traceEvents"])
+
+    def test_write_round_trips(self, tmp_path):
+        import json
+
+        t = Tracer(categories=["txn"])
+        t.complete("txn", "work", 0, 10)
+        path = tmp_path / "trace.json"
+        doc = t.write(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        validate_trace(on_disk)
+
+
+class TestValidateTrace:
+    def _doc(self, events):
+        return {"traceEvents": events}
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceFormatError):
+            validate_trace([])
+        with pytest.raises(TraceFormatError):
+            validate_trace({"traceEvents": "nope"})
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(TraceFormatError, match="missing"):
+            validate_trace(self._doc([{"ph": "X"}]))
+
+    def test_rejects_unknown_phase(self):
+        bad = {"ph": "Q", "name": "x", "pid": 0, "ts": 0}
+        with pytest.raises(TraceFormatError, match="unknown phase"):
+            validate_trace(self._doc([bad]))
+
+    def test_rejects_negative_ts_and_dur(self):
+        bad = {"ph": "X", "name": "x", "pid": 0, "ts": -1, "dur": -2}
+        with pytest.raises(TraceFormatError) as exc:
+            validate_trace(self._doc([bad]))
+        assert "'ts'" in str(exc.value) and "'dur'" in str(exc.value)
+
+    def test_rejects_unbalanced_spans(self):
+        events = [{"ph": "B", "name": "x", "pid": 0, "ts": 0, "tid": 3}]
+        with pytest.raises(TraceFormatError, match="unclosed 'B'"):
+            validate_trace(self._doc(events))
+        events = [{"ph": "E", "name": "x", "pid": 0, "ts": 0, "tid": 3}]
+        with pytest.raises(TraceFormatError, match="without matching 'B'"):
+            validate_trace(self._doc(events))
+
+    def test_rejects_counter_without_args(self):
+        bad = {"ph": "C", "name": "x", "pid": 0, "ts": 0}
+        with pytest.raises(TraceFormatError, match="dict 'args'"):
+            validate_trace(self._doc([bad]))
+
+    def test_counts_valid_events(self):
+        events = [
+            {"ph": "M", "name": "process_name", "pid": 0, "args": {"name": "m"}},
+            {"ph": "X", "name": "x", "pid": 0, "ts": 0, "dur": 1},
+            {"ph": "i", "name": "x", "pid": 0, "ts": 0, "s": "t"},
+        ]
+        assert validate_trace(self._doc(events)) == 3
