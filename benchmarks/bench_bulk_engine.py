@@ -20,7 +20,6 @@ from repro.baselines.bcopy import vm_copy
 from repro.core.log_segment import LogSegment
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
-from repro.hw.params import PAGE_SIZE
 
 COPY_BYTES = 256 * 1024
 RESULT_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_bulk_engine.json"

@@ -3,7 +3,10 @@
 With no arguments, boots the simulated ParaDiGM machine, runs the
 paper's section 2.2 example, and prints a short tour of what is in the
 box.  ``python -m repro trace <workload>`` captures a cycle-domain
-Perfetto trace of a canned workload (see :mod:`repro.obs.cli`).
+Perfetto trace of a canned workload (see :mod:`repro.obs.cli`);
+``python -m repro lint`` checks the simulator invariants and
+``python -m repro race`` replays canned workloads under the log-race
+sanitizer (see :mod:`repro.sanitize.cli`).
 """
 
 import sys
@@ -55,6 +58,14 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.sanitize.cli import lint_main
+
+        return lint_main(argv[1:])
+    if argv and argv[0] == "race":
+        from repro.sanitize.cli import race_main
+
+        return race_main(argv[1:])
     return demo()
 
 

@@ -34,11 +34,12 @@ from repro.hw.bus import BusWrite
 from repro.hw.logger import LogMode
 from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
 from repro.hw.records import RECORD_STRUCT
+from repro.sanitize import race as racesan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cpu import CPU
     from repro.hw.machine import Machine
-    from repro.core.address_space import AddressSpace, PageTableEntry
+    from repro.core.address_space import AddressSpace
 
 _PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
 _PAGE_MASK = PAGE_SIZE - 1
@@ -292,6 +293,12 @@ def _write_run_bus_logged(
         # Per-word trace spans live on the generic paths; tracing falls
         # back so the trace is cycle-identical to the untraced run.
         return False
+    det = racesan._ACTIVE
+    if det is not None:
+        # The fused loop never calls SystemBus.write_transaction, so
+        # report the whole run to the race sanitizer as one logged
+        # write (same page span, same writer) before taking it.
+        det.logged_run(cpu.index, paddr_base, len(chunk), cpu._now)
 
     segment.write_bytes(seg_offset, chunk)
 

@@ -158,8 +158,13 @@ def _drive(backend, oracle, script, va, data_off, is_rvm) -> None:
                 txn.commit(flush=False)
                 oracle.commit_pending(txn.tid)
             else:
+                # A flushing commit drains buffered no-flush commits
+                # into the log first (log order == commit order), so it
+                # is also a flush attempt for every pending txn.
+                oracle.flush_attempt()
                 oracle.commit_attempt(txn.tid)
                 txn.commit()
+                oracle.flush_durable()
                 oracle.commit_durable(txn.tid)
         elif kind == "flush":
             oracle.flush_attempt()

@@ -16,6 +16,7 @@ from typing import NamedTuple, Optional, Protocol
 
 from repro.obs import core as obscore
 from repro.obs.trace import TID_BUS
+from repro.sanitize import race as racesan
 
 
 class BusWrite(NamedTuple):
@@ -93,6 +94,9 @@ class SystemBus:
         write FIFO.
         """
         complete = self.acquire(request_cycle, bus_cycles)
+        det = racesan._ACTIVE
+        if det is not None and write.log_tag is not None:
+            det.logged_run(write.cpu_index, write.paddr, write.size, complete)
         for snooper in self._snoopers:
             snooper.snoop_write(complete, write)
         return complete

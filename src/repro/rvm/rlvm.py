@@ -251,6 +251,11 @@ class RLVM:
                 all_writes.append((rseg.seg_id, offset, data))
             rseg.log.truncate()
         if flush:
+            # Earlier no-flush commits must reach the log first: replay
+            # applies entries in log order, so letting this transaction
+            # overtake a buffered predecessor would replay an older
+            # value over a newer one.
+            self.flush()
             faultplan.hit("rvm.commit.log", cycle=proc.now)
             if all_writes:
                 self.wal.append_writes(proc.cpu, txn.tid, all_writes)

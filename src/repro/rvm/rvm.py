@@ -199,6 +199,11 @@ class Transaction:
             new = rng.rseg.segment.read_bytes(rng.offset, rng.length)
             writes.append((rng.rseg.seg_id, rng.offset, new))
         if flush:
+            # Earlier no-flush commits must reach the log first: replay
+            # applies entries in log order, so letting this transaction
+            # overtake a buffered predecessor would replay an older
+            # value over a newer one.
+            self.rvm.flush()
             faultplan.hit("rvm.commit.log", cycle=proc.now)
             if writes:
                 self.rvm.wal.append_writes(proc.cpu, self.tid, writes)

@@ -1,0 +1,61 @@
+"""Sparse integer vector clocks for happens-before tracking.
+
+A vector clock maps a CPU index to the number of relevant events that
+CPU had performed the last time the owner synchronized with it.  Event
+``a`` happens-before event ``b`` iff ``a``'s epoch ``(cpu, t)`` is
+covered by ``b``'s clock: ``b.clock[cpu] >= t``.  Clocks are sparse
+dicts rather than fixed-width lists so the detector needs no up-front
+CPU count and idle CPUs cost nothing.
+
+Everything here is plain integer bookkeeping in the cycle domain's
+*metadata* space — it never touches simulated time, so it cannot
+perturb cycle accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A sparse ``cpu_index -> epoch`` map with join/cover operations."""
+
+    __slots__ = ("_epochs",)
+
+    def __init__(self, epochs: Dict[int, int] | None = None) -> None:
+        self._epochs: Dict[int, int] = dict(epochs) if epochs else {}
+
+    def get(self, cpu: int) -> int:
+        """The epoch this clock holds for ``cpu`` (0 if never seen)."""
+        return self._epochs.get(cpu, 0)
+
+    def tick(self, cpu: int) -> int:
+        """Advance ``cpu``'s own component and return the new epoch."""
+        epoch = self._epochs.get(cpu, 0) + 1
+        self._epochs[cpu] = epoch
+        return epoch
+
+    def covers(self, cpu: int, epoch: int) -> bool:
+        """True iff the event ``(cpu, epoch)`` happens-before this clock."""
+        return self._epochs.get(cpu, 0) >= epoch
+
+    def join(self, other: "VectorClock") -> None:
+        """Merge ``other`` into self (component-wise max)."""
+        for cpu, epoch in other._epochs.items():
+            if self._epochs.get(cpu, 0) < epoch:
+                self._epochs[cpu] = epoch
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._epochs)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._epochs.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._epochs == other._epochs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c}: {e}" for c, e in sorted(self._epochs.items()))
+        return f"VectorClock({{{inner}}})"

@@ -19,6 +19,7 @@ from repro.core.context import boot, use_machine
 from repro.core.process import create_process
 from repro.obs import core as obscore
 from repro.hw.machine import Machine
+from repro.sanitize import race as racesan
 from repro.hw.params import MachineConfig
 from repro.timewarp.event import Event, Message
 from repro.timewarp.scheduler import Scheduler
@@ -145,14 +146,23 @@ class TimeWarpSimulation:
             return
         arrival = sender.proc.now + self.latency_cycles
         self._seq += 1
+        det = racesan._ACTIVE
+        if det is not None:
+            # A cross-scheduler message is a release: the receiver's
+            # acquire in _ingest orders the sender's earlier writes
+            # before everything the receiver does next.
+            det.msg_send(sender.proc.cpu.index, id(message))
         heapq.heappush(self._inboxes[dest.index], (arrival, self._seq, message))
 
     def _ingest(self, scheduler: Scheduler) -> None:
         """Deliver every message that has arrived by the CPU's time."""
         inbox = self._inboxes[scheduler.index]
         now = scheduler.proc.now
+        det = racesan._ACTIVE
         while inbox and inbox[0][0] <= now:
             _, _, message = heapq.heappop(inbox)
+            if det is not None:
+                det.msg_recv(scheduler.proc.cpu.index, id(message))
             scheduler.receive(message)
 
     def in_flight_min(self) -> int | None:

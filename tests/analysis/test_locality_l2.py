@@ -1,10 +1,8 @@
 """Tests: locality analysis and the optional L2 cache model."""
 
-import pytest
 
 from conftest import make_logged_region
 from repro.analysis.locality import (
-    LocalityReport,
     analyse_locality,
     reuse_distances,
     working_set_curve,

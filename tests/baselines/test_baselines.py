@@ -1,6 +1,5 @@
 """Unit tests: bcopy, write-protect checkpointing, trap & inline logging."""
 
-import pytest
 
 from repro.baselines.bcopy import bcopy, bcopy_cost_cycles
 from repro.baselines.instrumented import InstrumentedLogger, MissedAnnotationAudit
@@ -8,7 +7,7 @@ from repro.baselines.write_protect import TrapLogger, WriteProtectCheckpointer
 from repro.core.deferred_copy import reset_cost_cycles, ResetStats
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
-from repro.hw.params import LINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
+from repro.hw.params import LINES_PER_PAGE, PAGE_SIZE
 
 
 class TestBcopy:

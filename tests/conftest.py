@@ -15,6 +15,16 @@ TEST_CONFIG = MachineConfig(memory_bytes=32 * 1024 * 1024)
 TEST_CONFIG_ONCHIP = NEXT_GENERATION.with_changes(memory_bytes=32 * 1024 * 1024)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--lvm-san",
+        action="store_true",
+        default=False,
+        help="run every test under the log-race sanitizer and fail "
+        "tests that perform unsynchronized cross-CPU logged writes",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _no_leaked_fault_plan():
     """A test that dies mid-injection must not poison its neighbours."""
@@ -31,6 +41,29 @@ def _no_leaked_observability():
     from repro.obs import core as obscore
 
     obscore.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _lvm_san(request):
+    """Under ``--lvm-san``, run the test inside a LogRaceDetector.
+
+    Tests that install their own detector (tests/sanitize) opt out by
+    uninstalling first; the teardown always clears any leaked detector,
+    mirroring the fault-plan and observability fixtures above.
+    """
+    from repro.sanitize import race
+
+    if not request.config.getoption("--lvm-san") or race.active() is not None:
+        yield
+        race.uninstall()
+        return
+    detector = race.LogRaceDetector()
+    race.install(detector)
+    try:
+        yield
+    finally:
+        race.uninstall()
+    assert not detector.races_seen, f"--lvm-san:\n{detector.summary()}"
 
 
 @pytest.fixture

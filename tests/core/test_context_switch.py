@@ -1,6 +1,5 @@
 """Tests: per-process log multiplexing via context switch (§3.1.2)."""
 
-import pytest
 
 from repro.core.log_segment import LogSegment
 from repro.core.process import create_process

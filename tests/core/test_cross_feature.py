@@ -6,7 +6,6 @@ Time Warp simulation's working segment, prototype-vs-on-chip update
 stream equivalence, and deferred copy composed with logging.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from conftest import TEST_CONFIG, TEST_CONFIG_ONCHIP, make_logged_region

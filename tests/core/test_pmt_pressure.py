@@ -8,7 +8,6 @@ conflict disappear.  (This is the software-visible cost of the
 prototype's "direct-mapped TLB-like structure".)
 """
 
-import pytest
 
 from repro.core.context import boot, set_current_machine
 from repro.core.log_segment import LogSegment

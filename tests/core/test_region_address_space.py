@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import BindError, LoggingError, RegionError
-from repro.core.address_space import AddressSpace
 from repro.core.log_segment import LogSegment
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment

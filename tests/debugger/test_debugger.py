@@ -1,6 +1,5 @@
 """Tests: write monitoring, reverse execution, and address tracing."""
 
-import pytest
 
 from repro.core.log_segment import LogSegment
 from repro.core.region import StdRegion

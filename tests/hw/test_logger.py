@@ -6,7 +6,6 @@ snoop → write FIFO → PMT → log table → DMA, plus logging faults,
 default-page absorption, and overload.
 """
 
-import pytest
 
 from repro.hw.bus import BusWrite, SystemBus
 from repro.hw.clock import Clock

@@ -1,6 +1,5 @@
 """Behavioural tests: logger drain timing, idle_at, bus interaction."""
 
-import pytest
 
 from repro.hw.bus import BusWrite, SystemBus
 from repro.hw.clock import Clock

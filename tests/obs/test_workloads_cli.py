@@ -14,11 +14,10 @@ import pytest
 
 from repro.analysis.logstats import compute_stats
 from repro.faults.plan import CrashPoint, FaultPlan, install as install_plan
-from repro.obs import core as obscore
 from repro.obs.cli import main as cli_main, run_traced
 from repro.obs.core import Observability, installed
 from repro.obs.machine_sources import snapshot_machine
-from repro.obs.trace import Tracer, validate_trace
+from repro.obs.trace import validate_trace
 from repro.obs.workloads import WORKLOADS, run_workload
 
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.oodb import Handle, ObjectStore, ObjectType, SchemaError, StoreError
+from repro.oodb import ObjectStore, ObjectType, SchemaError, StoreError
 from repro.oodb.store import HEADER_BYTES
 
 

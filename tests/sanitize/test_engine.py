@@ -1,0 +1,115 @@
+"""Unit tests for the lvm-san lint engine itself."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.sanitize.engine import (
+    CYCLE_DOMAIN_PACKAGES,
+    Finding,
+    Rule,
+    lint_paths,
+    lint_source,
+    make_context,
+    module_path_for,
+)
+
+
+class AlwaysFlagRule(Rule):
+    """Flags every function definition; used to probe the engine."""
+
+    rule_id = "LVM999"
+    title = "test rule"
+
+    def check(self, ctx):
+        import ast
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield self.finding(ctx, node, f"function {node.name}")
+
+
+class TestContext:
+    def test_cycle_domain_classification(self):
+        for pkg in sorted(CYCLE_DOMAIN_PACKAGES):
+            ctx = make_context("x = 1\n", f"repro/{pkg}/mod.py")
+            assert ctx.in_cycle_domain, pkg
+        for module_path in ("repro/analysis/report.py", "repro/sanitize/cli.py",
+                            "scripts/tool.py", "repro/__init__.py"):
+            ctx = make_context("x = 1\n", module_path)
+            assert not ctx.in_cycle_domain, module_path
+
+    def test_module_name(self):
+        assert make_context("", "repro/hw/bus.py").module_name == "repro.hw.bus"
+        assert make_context("", "repro/hw/__init__.py").module_name == "repro.hw"
+
+    def test_module_path_for(self, tmp_path):
+        nested = tmp_path / "src" / "repro" / "hw" / "bus.py"
+        assert module_path_for(nested) == "repro/hw/bus.py"
+        assert module_path_for(tmp_path / "standalone.py") == "standalone.py"
+
+
+class TestSuppression:
+    def test_bare_ignore_suppresses_all(self):
+        source = "def f():  # lvm-san: ignore\n    pass\n"
+        assert lint_source(source, "repro/hw/m.py", [AlwaysFlagRule()]) == []
+
+    def test_listed_rule_suppressed(self):
+        source = "def f():  # lvm-san: ignore[LVM999]\n    pass\n"
+        assert lint_source(source, "repro/hw/m.py", [AlwaysFlagRule()]) == []
+
+    def test_other_rule_not_suppressed(self):
+        source = "def f():  # lvm-san: ignore[LVM001]\n    pass\n"
+        findings = lint_source(source, "repro/hw/m.py", [AlwaysFlagRule()])
+        assert [f.rule_id for f in findings] == ["LVM999"]
+
+    def test_suppression_only_covers_its_line(self):
+        source = textwrap.dedent(
+            """\
+            def f():  # lvm-san: ignore[LVM999]
+                pass
+            def g():
+                pass
+            """
+        )
+        findings = lint_source(source, "repro/hw/m.py", [AlwaysFlagRule()])
+        assert [f.message for f in findings] == ["function g"]
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = 'def f():\n    return "lvm-san: ignore"\n'
+        findings = lint_source(source, "repro/hw/m.py", [AlwaysFlagRule()])
+        assert [f.rule_id for f in findings] == ["LVM999"]
+
+
+class TestLintPaths:
+    def test_walks_tree_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("def zz():\n    pass\n")
+        (tmp_path / "a.py").write_text("def aa():\n    pass\n")
+        findings = lint_paths([tmp_path], [AlwaysFlagRule()])
+        assert [f.message for f in findings] == ["function aa", "function zz"]
+
+    def test_syntax_error_becomes_lvm000(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([bad], [AlwaysFlagRule()])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "LVM000"
+        assert "syntax error" in findings[0].message
+
+    def test_single_file_path(self, tmp_path):
+        file_path = tmp_path / "one.py"
+        file_path.write_text("def one():\n    pass\n")
+        findings = lint_paths([file_path], [AlwaysFlagRule()])
+        assert [f.message for f in findings] == ["function one"]
+
+
+class TestFinding:
+    def test_str_is_clickable(self):
+        finding = Finding("src/x.py", 3, 7, "LVM001", "no wall clock")
+        assert str(finding) == "src/x.py:3:7: LVM001 no wall clock"
+
+    def test_ordering_is_positional(self):
+        a = Finding("a.py", 9, 1, "LVM002", "m")
+        b = Finding("a.py", 10, 1, "LVM001", "m")
+        c = Finding("b.py", 1, 1, "LVM001", "m")
+        assert sorted([c, b, a]) == [a, b, c]

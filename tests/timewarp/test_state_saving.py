@@ -4,10 +4,9 @@ import pytest
 
 from repro.errors import RollbackError
 from repro.core.context import use_machine
-from repro.timewarp.cult import ALWAYS, CultPolicy
+from repro.timewarp.cult import CultPolicy
 from repro.timewarp.kernel import TimeWarpSimulation
 from repro.timewarp.state_saving import (
-    MARKER_BYTES,
     CopyStateSaver,
     LVMStateSaver,
 )

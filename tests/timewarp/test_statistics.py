@@ -1,6 +1,5 @@
 """Tests: run statistics collection and derived metrics."""
 
-import pytest
 
 from repro.core.context import boot, set_current_machine
 from repro.hw.params import MachineConfig

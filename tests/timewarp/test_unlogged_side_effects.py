@@ -11,10 +11,8 @@ state routed *through* a logged region rolls back correctly (the
 paper's prescribed fix).
 """
 
-import pytest
 
 from repro.core.context import use_machine
-from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
 from repro.timewarp.event import Event, Message
 from repro.timewarp.kernel import TimeWarpSimulation

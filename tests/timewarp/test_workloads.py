@@ -102,7 +102,6 @@ class TestPholdModel:
         assert any(checksums)
 
     def test_zero_delay_schedule_rejected(self):
-        from repro.timewarp.sequential import _SequentialContext
 
         sim = SequentialSimulation(PholdModel(), 10)
         ctx = sim._ctx
