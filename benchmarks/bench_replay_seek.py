@@ -1,0 +1,119 @@
+"""Replay engine: checkpointed seek vs full-replay on a long history.
+
+Not a figure from the paper — this measures the *replay substrate
+itself*: the wall-clock speedup of checkpointed ``state_at`` (restore
+nearest checkpoint + replay the gap, O(distance)) over the seed
+debugger's full-replay path (replay the whole history from the attach
+snapshot, O(history)) for a burst of near-tip seeks over a long seeded
+write history, while asserting every seeked state is bit-identical to
+the full-replay oracle.  Results are written to
+``BENCH_replay_seek.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import time
+
+import pytest
+
+from conftest import print_header, write_bench_json
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.replay import ReplayEngine
+
+#: Length of the recorded history and the near-tip seek burst.
+HISTORY_WRITES = 8000
+NEAR_TIP_SEEKS = 80
+CHECKPOINT_INTERVAL = 64
+REGION_BYTES = 4 * 4096
+
+RESULT_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_replay_seek.json"
+
+
+def build_history(machine):
+    """A logged region with a long seeded random write history."""
+    proc = machine.current_process
+    region = StdRegion(StdSegment(REGION_BYTES, machine=machine))
+    region.log(LogSegment(size=32 * 1024 * 1024, machine=machine))
+    va = region.bind(proc.address_space())
+    engine = ReplayEngine(region, checkpoint_interval=CHECKPOINT_INTERVAL)
+    rng = random.Random(0)
+    for _ in range(HISTORY_WRITES):
+        proc.write(va + 4 * rng.randrange(REGION_BYTES // 4), rng.randrange(2**32))
+    total = len(engine)  # quiesces and parses the history once
+    assert total == HISTORY_WRITES
+    return engine, total
+
+
+def seek_positions(total):
+    """The debugger's bread-and-butter access pattern: stepping around
+    near the tip of a long history."""
+    return [total - 1 - i for i in range(NEAR_TIP_SEEKS)]
+
+
+@pytest.mark.benchmark(group="replay_seek")
+def test_replay_seek_speedup_and_exactness(benchmark, fresh_machine):
+    def run():
+        machine = fresh_machine(memory_bytes=64 * 1024 * 1024)
+        engine, total = build_history(machine)
+        positions = seek_positions(total)
+
+        # Checkpointed path: timing includes the lazy checkpoint build —
+        # the engine starts cold, exactly as a debugger attach would.
+        t0 = time.perf_counter()
+        fast_states = [engine.state_at(n) for n in positions]
+        fast_wall = time.perf_counter() - t0
+
+        # Seed path: every seek replays the whole history prefix.
+        t0 = time.perf_counter()
+        slow_states = [engine.full_replay_state_at(n) for n in positions]
+        slow_wall = time.perf_counter() - t0
+
+        return engine, machine, positions, fast_states, fast_wall, slow_states, slow_wall
+
+    engine, machine, positions, fast_states, fast_wall, slow_states, slow_wall = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    # Exactness guard: every checkpointed seek is bit-identical to the
+    # full-replay oracle.
+    assert fast_states == slow_states
+
+    speedup = slow_wall / fast_wall
+    print_header(
+        f"Replay engine: {NEAR_TIP_SEEKS} near-tip seeks over "
+        f"{HISTORY_WRITES} logged writes",
+        "simulator engineering (not a paper figure)",
+    )
+    print(f"  full replay (seed path) : {slow_wall * 1e3:9.1f} ms")
+    print(f"  checkpointed seek       : {fast_wall * 1e3:9.1f} ms")
+    print(f"  speedup                 : {speedup:9.2f}x")
+    print(f"  checkpoints built       : {engine.stats.checkpoints_captured}")
+    print(f"  checkpoint cost         : {engine.checkpoint_cost_cycles} simulated cycles")
+    print(f"  records replayed (fast) : {engine.stats.records_replayed}")
+
+    write_bench_json(
+        RESULT_FILE,
+        "replay_seek",
+        {
+            "history_writes": HISTORY_WRITES,
+            "near_tip_seeks": NEAR_TIP_SEEKS,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "region_bytes": REGION_BYTES,
+            "full_replay_seconds": slow_wall,
+            "checkpointed_seconds": fast_wall,
+            "speedup": speedup,
+            "checkpoints_built": engine.stats.checkpoints_captured,
+            "checkpoint_cost_cycles": engine.checkpoint_cost_cycles,
+            "records_replayed": engine.stats.records_replayed,
+            "bit_identical": True,
+        },
+        machine=machine,
+    )
+
+    assert speedup >= 10.0, (
+        f"checkpointed seek speedup {speedup:.2f}x below the 10x floor"
+    )

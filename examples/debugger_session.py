@@ -6,6 +6,11 @@ debugger attaches logging to the application's region *dynamically*
 ("with no change to the program binary", section 2.7), catches the
 overwrite, and reverse-executes to find exactly which write did it.
 
+The reverse executor is backed by the checkpointed replay engine
+(`repro.replay`): it keeps periodic deferred-copy-style checkpoints so
+each seek restores the nearest checkpoint and replays only the gap —
+O(distance) instead of replaying the whole history.
+
 Run:  python examples/debugger_session.py
 """
 
@@ -39,7 +44,8 @@ def main() -> None:
     # The debugger attaches: logging appears dynamically.  The monitor
     # is non-consuming so the reverse executor sees the full history.
     monitor = WriteMonitor(region, consume=False)
-    rex = ReverseExecutor(region)  # shares the same log
+    # Checkpoint every 4 writes: seeks replay at most a 4-record gap.
+    rex = ReverseExecutor(region, checkpoint_interval=4)  # shares the same log
     monitor.watch(va + BALANCE)
     print("debugger attached; watching the balance word\n")
 
@@ -63,6 +69,18 @@ def main() -> None:
     print(f"  state after  that write: balance = {a:#x}")
     print(f"  culprit wrote {record.value:#x} — iteration "
           f"{record.value - 0xBEEF0000} of the loop is the bug")
+
+    # The same moment, addressed by machine cycle instead of position —
+    # log records carry timestamps, so history is time-indexed too.
+    cycle = record.timestamp * rex.machine.config.timestamp_divider
+    assert rex.state_at_cycle(cycle - 1) == before
+    print(f"  (that write landed at machine cycle ~{cycle})")
+
+    stats = rex.engine.stats
+    print(f"\nreplay engine: {stats.checkpoints_captured} checkpoints "
+          f"captured, {stats.records_replayed} records replayed across "
+          f"{stats.seeks} seeks "
+          f"({rex.engine.checkpoint_cost_cycles} simulated cycles charged)")
 
 
 if __name__ == "__main__":

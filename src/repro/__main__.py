@@ -4,9 +4,11 @@ With no arguments, boots the simulated ParaDiGM machine, runs the
 paper's section 2.2 example, and prints a short tour of what is in the
 box.  ``python -m repro trace <workload>`` captures a cycle-domain
 Perfetto trace of a canned workload (see :mod:`repro.obs.cli`);
-``python -m repro lint`` checks the simulator invariants and
+``python -m repro lint`` checks the simulator invariants,
 ``python -m repro race`` replays canned workloads under the log-race
-sanitizer (see :mod:`repro.sanitize.cli`).
+sanitizer (see :mod:`repro.sanitize.cli`), and
+``python -m repro replay`` runs the checkpointed-replay smokes
+(see :mod:`repro.replay.cli`).
 """
 
 import sys
@@ -66,6 +68,10 @@ def main(argv=None) -> int:
         from repro.sanitize.cli import race_main
 
         return race_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from repro.replay.cli import main as replay_main
+
+        return replay_main(argv[1:])
     return demo()
 
 

@@ -47,3 +47,20 @@ def reset_cost_cycles(config: MachineConfig, stats: ResetStats) -> int:
         + config.reset_dc_per_dirty_page_cycles * stats.dirty_pages
         + config.reset_dc_per_dirty_line_cycles * stats.dirty_lines
     )
+
+
+def checkpoint_cost_cycles(config: MachineConfig, stats: ResetStats) -> int:
+    """Cycles charged for one deferred-copy-style checkpoint capture.
+
+    The replay engine's periodic checkpoints
+    (:mod:`repro.replay.checkpoint`) are the dual of ``resetDeferredCopy``:
+    instead of *discarding* dirty lines to make the destination read
+    from the source again, a checkpoint *retains* exactly the dirty
+    pages written since the previous checkpoint.  The work inspected is
+    identical — scan per-page dirty bits, then touch only the dirty
+    pages and their modified lines — so the capture is charged with the
+    same per-page-scan / per-dirty-page / per-dirty-line constants as a
+    reset (section 3.3's "checks the per-page dirty bit ... rather than
+    inspecting the tags of every cache line").
+    """
+    return reset_cost_cycles(config, stats)

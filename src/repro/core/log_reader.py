@@ -46,6 +46,14 @@ class RegionLogView:
             return self.region.va_to_offset(record.addr)
         target = record.addr // PAGE_SIZE
         page_index = self._frame_map.get(target)
+        if page_index is not None:
+            # Validate the hit against the live page table: after a page
+            # is remapped (or its frame number reused by a different
+            # page) a stale entry would silently translate the record to
+            # the wrong segment offset.
+            page = self.region.segment.page(page_index, allocate=False)
+            if page is None or page.frame.number != target:
+                page_index = None
         if page_index is None:
             self._frame_map = {
                 page.frame.number: page.index

@@ -139,9 +139,18 @@ class LogSegment(Segment):
             else:
                 yield decode_record(data)
 
-    def records_with_offsets(self) -> Iterator[tuple[int, LogRecord]]:
-        """Iterate ``(log_offset, record)`` pairs for retained records."""
-        for offset in self._record_offsets(self.start_offset, self.append_offset):
+    def records_with_offsets(
+        self, start: int | None = None
+    ) -> Iterator[tuple[int, LogRecord]]:
+        """Iterate ``(log_offset, record)`` pairs for retained records.
+
+        ``start`` (a log offset, e.g. a previously returned offset or a
+        prior ``append_offset``) lets incremental consumers — the replay
+        engine, followers — parse only the tail appended since their
+        last visit instead of rescanning the whole log.
+        """
+        begin = self.start_offset if start is None else max(start, self.start_offset)
+        for offset in self._record_offsets(begin, self.append_offset):
             data = self.read_bytes(offset, self.record_size)
             if self.extended_records:
                 yield offset, decode_extended_record(data)

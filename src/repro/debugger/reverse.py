@@ -4,38 +4,35 @@
 technique in which a program is allowed to run until it fails, and then
 backed up or reverse-executed until the problem is located."
 
-The executor snapshots the region when attached (the checkpoint) and
-reconstructs the memory state *as of any logged write* by replaying the
-log prefix onto a scratch copy — stepping backward is replaying one
-record fewer.
+The executor is a thin debugger-facing veneer over the checkpointed
+replay engine (:mod:`repro.replay.engine`): the engine snapshots the
+region when attached and maintains periodic deferred-copy-style
+checkpoints, so :meth:`ReverseExecutor.seek` restores the nearest
+checkpoint and replays only the gap — stepping backward near the tip of
+a long history no longer replays the whole log.
 """
 
 from __future__ import annotations
 
-from repro.errors import LoggingError
-from repro.core.log_reader import RegionLogView
-from repro.core.log_segment import LogSegment
 from repro.core.region import Region
-from repro.core.segment import StdSegment
 from repro.hw.records import LogRecord
+from repro.replay.engine import DEFAULT_CHECKPOINT_INTERVAL, ReplayEngine
 
 
 class ReverseExecutor:
     """Navigate a region's history backward and forward."""
 
-    def __init__(self, region: Region) -> None:
-        if not region.is_bound:
-            raise LoggingError("attach the executor to a bound region")
+    def __init__(
+        self,
+        region: Region,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> None:
+        self.engine = ReplayEngine(region, checkpoint_interval=checkpoint_interval)
         self.region = region
-        self.machine = region.machine
-        if region.log_segment is None:
-            self.log = LogSegment(machine=self.machine)
-            region.log(self.log)
-        else:
-            self.log = region.log_segment
-        self._view = RegionLogView(region, self.log)
+        self.machine = self.engine.machine
+        self.log = self.engine.log
         #: state of the region at attach time
-        self.checkpoint = bytes(region.segment.snapshot())
+        self.checkpoint = self.engine.base_state
         #: position in history: number of writes applied (None = live)
         self._position: int | None = None
 
@@ -43,12 +40,15 @@ class ReverseExecutor:
     # History access
     # ------------------------------------------------------------------
     def history(self) -> list[LogRecord]:
-        """All logged writes since attach, oldest first."""
-        self.machine.sync(self.machine.cpu(0))
-        return list(self.log.records())
+        """All logged writes since attach, oldest first.
+
+        Quiesces the whole machine — every CPU's write buffer, not just
+        CPU 0's — so writes issued from any CPU are visible.
+        """
+        return self.engine.history()
 
     def __len__(self) -> int:
-        return len(self.history())
+        return len(self.engine)
 
     @property
     def position(self) -> int:
@@ -62,21 +62,15 @@ class ReverseExecutor:
     # ------------------------------------------------------------------
     def state_at(self, n_writes: int) -> bytes:
         """Region contents after the first ``n_writes`` logged writes."""
-        history = self.history()
-        if not 0 <= n_writes <= len(history):
-            raise LoggingError(
-                f"position {n_writes} outside history of {len(history)} writes"
-            )
-        scratch = StdSegment(self.region.size, machine=self.machine)
-        scratch.write_bytes(0, self.checkpoint)
-        for record in history[:n_writes]:
-            offset = self._record_offset(record)
-            scratch.write(offset, record.value, record.size)
-        return scratch.snapshot()
+        return self.engine.state_at(n_writes)
+
+    def state_at_cycle(self, cycle: int) -> bytes:
+        """Region contents as of machine cycle ``cycle``."""
+        return self.engine.state_at_cycle(cycle)
 
     def seek(self, n_writes: int) -> bytes:
         """Move the view to ``n_writes`` and return that state."""
-        state = self.state_at(n_writes)
+        state = self.engine.state_at(n_writes)
         self._position = n_writes
         return state
 
@@ -95,15 +89,9 @@ class ReverseExecutor:
         variable, and when?" directly from the log.
         """
         offset = self.region.va_to_offset(vaddr)
+        records = self.engine.history()
         out = []
-        for i, record in enumerate(self.history()):
-            rec_off = self._record_offset(record)
-            if rec_off <= offset < rec_off + record.size:
-                out.append((i + 1, record))
+        for i, write in enumerate(self.engine.writes()):
+            if write.offset <= offset < write.offset + write.size:
+                out.append((i + 1, records[i]))
         return out
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _record_offset(self, record: LogRecord) -> int:
-        return self._view.offset_of(record)

@@ -138,6 +138,31 @@ class FaultPlan:
             f"reorder_window={self.reorder_window})"
         )
 
+    @classmethod
+    def from_repr(cls, plan_repr: str) -> "FaultPlan":
+        """Reconstruct a *fresh* plan from a replayable ``repr(plan)``.
+
+        The inverse of :meth:`__repr__`: sweep failure artifacts and
+        :attr:`CrashPoint.plan_repr` carry these strings so any crash
+        can be re-driven later (``repro.replay.crashpoint``).  The plan
+        comes back unfired with zeroed hit counts — replaying needs a
+        plan that has not latched.  Evaluation resolves only the two
+        plan constructors, so an artifact line cannot run arbitrary
+        code.
+        """
+        namespace = {"FaultPlan": cls, "CrashSpec": CrashSpec}
+        try:
+            plan = eval(plan_repr, {"__builtins__": {}}, namespace)
+        except Exception as exc:
+            raise ConfigError(
+                f"unparseable FaultPlan repr: {plan_repr!r}"
+            ) from exc
+        if not isinstance(plan, cls):
+            raise ConfigError(
+                f"repr did not evaluate to a FaultPlan: {plan_repr!r}"
+            )
+        return plan
+
     # ------------------------------------------------------------------
     # Constructors for the four trigger kinds
     # ------------------------------------------------------------------

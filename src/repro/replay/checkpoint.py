@@ -1,0 +1,137 @@
+"""Deferred-copy-style checkpoints for log replay.
+
+A checkpoint is *not* a full copy of the region: following the
+deferred-copy philosophy of section 2.3 ("significantly outperforms
+bcopy() in the expected case"), each checkpoint retains only the pages
+dirtied since the previous one, as immutable per-page snapshots.  The
+store keeps, for every page, the list of checkpointed versions in
+position order; materialising the region at checkpoint ``p`` picks, per
+page, the newest version at or below ``p`` (falling back to the base
+image), so restore cost is proportional to the region size — never to
+the length of the history.
+
+Capture cost is charged in simulated cycles with the same per-page-scan
+/ per-dirty-page / per-dirty-line constants as ``resetDeferredCopy``
+(:func:`repro.core.deferred_copy.checkpoint_cost_cycles`): the work is
+the same dirty-bit scan, just *retaining* instead of discarding.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.deferred_copy import ResetStats, checkpoint_cost_cycles
+from repro.errors import LoggingError
+from repro.hw.params import PAGE_SIZE, MachineConfig
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Bookkeeping for one captured checkpoint."""
+
+    #: history position: number of log records folded in
+    position: int
+    #: pages dirtied since the previous checkpoint
+    dirty_pages: int
+    #: 16-byte lines dirtied since the previous checkpoint
+    dirty_lines: int
+    #: simulated cycles the capture was charged
+    cost_cycles: int
+
+
+class CheckpointStore:
+    """Per-page versioned checkpoint storage over a base image."""
+
+    def __init__(self, base: bytes, config: MachineConfig) -> None:
+        if len(base) % PAGE_SIZE:
+            raise LoggingError("checkpoint base must be whole pages")
+        self.base = bytes(base)
+        self.num_pages = len(base) // PAGE_SIZE
+        self.config = config
+        #: capture positions, ascending; position 0 is the base image
+        self.positions: list[int] = [0]
+        self.checkpoints: list[Checkpoint] = [Checkpoint(0, 0, 0, 0)]
+        #: page index -> (positions list, page-bytes list), parallel
+        self._versions: dict[int, tuple[list[int], list[bytes]]] = {}
+        #: cumulative simulated cycles charged for captures
+        self.cost_cycles = 0
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def last_position(self) -> int:
+        """Position of the newest checkpoint."""
+        return self.positions[-1]
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        position: int,
+        state: bytearray | bytes,
+        dirty_page_indices,
+        dirty_lines: int,
+    ) -> Checkpoint:
+        """Record a checkpoint at ``position`` from the rolling ``state``.
+
+        Only the pages in ``dirty_page_indices`` — those written since
+        the previous checkpoint — are snapshotted; everything else is
+        reachable through older versions or the base image.
+        """
+        if position <= self.last_position:
+            raise LoggingError(
+                f"checkpoint position {position} not past the newest "
+                f"checkpoint at {self.last_position}"
+            )
+        dirty = sorted(dirty_page_indices)
+        for index in dirty:
+            page_positions, page_images = self._versions.setdefault(
+                index, ([], [])
+            )
+            page_positions.append(position)
+            page_images.append(
+                bytes(state[index * PAGE_SIZE : (index + 1) * PAGE_SIZE])
+            )
+        stats = ResetStats(
+            pages_scanned=self.num_pages,
+            dirty_pages=len(dirty),
+            dirty_lines=dirty_lines,
+        )
+        cost = checkpoint_cost_cycles(self.config, stats)
+        checkpoint = Checkpoint(position, len(dirty), dirty_lines, cost)
+        self.positions.append(position)
+        self.checkpoints.append(checkpoint)
+        self.cost_cycles += cost
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def nearest(self, position: int) -> int:
+        """Newest checkpoint position at or below ``position``."""
+        if position < 0:
+            raise LoggingError(f"negative history position {position}")
+        return self.positions[bisect_right(self.positions, position) - 1]
+
+    def materialize(self, position: int) -> bytearray:
+        """Full region bytes at checkpoint ``position``.
+
+        ``position`` must be an exact capture position (use
+        :meth:`nearest` first).  Cost is O(region size): one version
+        lookup per page that ever appeared in a checkpoint.
+        """
+        slot = bisect_right(self.positions, position) - 1
+        if slot < 0 or self.positions[slot] != position:
+            raise LoggingError(f"{position} is not a checkpoint position")
+        state = bytearray(self.base)
+        if position == 0:
+            return state
+        for index, (page_positions, page_images) in self._versions.items():
+            slot = bisect_right(page_positions, position) - 1
+            if slot >= 0:
+                start = index * PAGE_SIZE
+                state[start : start + PAGE_SIZE] = page_images[slot]
+        return state

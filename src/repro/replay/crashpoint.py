@@ -1,0 +1,121 @@
+"""Re-drive a failing :class:`FaultPlan` to its :class:`CrashPoint`.
+
+The crash sweep (:mod:`repro.faults.sweep`) writes replayable
+``FaultPlan`` reprs into failure artifacts, and every raised
+:class:`~repro.faults.plan.CrashPoint` carries one as ``plan_repr``.
+This module closes the loop: given that string (or a plan, or the
+original CrashPoint), :func:`replay_to_crash` reconstructs a *fresh*
+plan (plans latch ``fired``; a used plan cannot fire again), re-runs
+the same deterministic scripted workload on a fresh machine, and hands
+back the reproduced crash with its durable snapshot for inspection.
+:func:`verify_crash_replay` asserts the reproduction is exact — same
+site and hit count, byte-identical durable disk, identical segment
+images — which is the property that makes "paste the artifact line into
+a debugger" a trustworthy workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LoggingError
+from repro.faults.checker import CrashCheckFailure
+from repro.faults.plan import CrashPoint, FaultPlan
+from repro.faults.sweep import DEFAULT_SCRIPT, run_script
+
+
+@dataclass(frozen=True)
+class CrashReplay:
+    """One reproduced crash: the fresh plan and the CrashPoint it hit."""
+
+    plan: FaultPlan
+    crash: CrashPoint
+
+    @property
+    def site(self) -> str:
+        return self.crash.site
+
+    @property
+    def seq(self) -> int:
+        return self.crash.seq
+
+    @property
+    def snapshot(self):
+        """Durable state at the reproduced crash instant."""
+        return self.crash.snapshot
+
+
+def _fresh_plan(plan) -> FaultPlan:
+    if isinstance(plan, CrashPoint):
+        plan = plan.plan_repr
+    if isinstance(plan, FaultPlan):
+        # Never reuse the object: a fired plan has latched and would
+        # sail through the workload without crashing.  Round-trip
+        # through the replayable repr instead.
+        plan = repr(plan)
+    if not isinstance(plan, str):
+        raise LoggingError(
+            "replay needs a FaultPlan, its repr string, or a CrashPoint"
+        )
+    return FaultPlan.from_repr(plan)
+
+
+def replay_to_crash(
+    plan,
+    backend_cls=None,
+    script=DEFAULT_SCRIPT,
+    seg_bytes: int = 4096,
+) -> CrashReplay:
+    """Re-run the scripted workload and drive it to its crash point.
+
+    ``plan`` may be a :class:`FaultPlan`, a replayable repr string (an
+    artifact line), or the original :class:`CrashPoint`.  The default
+    backend is RLVM — the paper's recoverable-memory library — and the
+    default script is the sweep's canonical workload, so an artifact
+    line alone is enough to reproduce a sweep failure.
+
+    Raises :class:`LoggingError` if the plan never fires (the workload
+    no longer reaches the site — the artifact is stale).
+    """
+    if backend_cls is None:
+        from repro.rvm.rlvm import RLVM
+
+        backend_cls = RLVM
+    fresh = _fresh_plan(plan)
+    result = run_script(backend_cls, script, fresh, seg_bytes=seg_bytes)
+    if result.crash is None:
+        raise LoggingError(
+            f"plan {fresh!r} did not fire on this workload; "
+            "the crash is not reproducible from this script"
+        )
+    return CrashReplay(plan=fresh, crash=result.crash)
+
+
+def verify_crash_replay(original: CrashPoint, replay: CrashReplay) -> None:
+    """Assert ``replay`` reproduced ``original`` exactly.
+
+    Checks the crash identity (site, hit count) and the durable
+    snapshot byte for byte: RAM disk contents, WAL geometry, and every
+    segment disk image.  Raises :class:`CrashCheckFailure` on the first
+    difference.
+    """
+    crash = replay.crash
+    if (crash.site, crash.seq) != (original.site, original.seq):
+        raise CrashCheckFailure(
+            f"replay crashed at {crash.site!r} hit #{crash.seq}, original "
+            f"crashed at {original.site!r} hit #{original.seq}"
+        )
+    want, got = original.snapshot, crash.snapshot
+    if want is None or got is None:
+        raise CrashCheckFailure("crash snapshot missing on one side")
+    if got.disk_bytes != want.disk_bytes:
+        raise CrashCheckFailure("replayed durable disk bytes differ")
+    if (got.wal_base, got.wal_capacity) != (want.wal_base, want.wal_capacity):
+        raise CrashCheckFailure("replayed WAL geometry differs")
+    if len(got.images) != len(want.images):
+        raise CrashCheckFailure("replayed segment image set differs")
+    for mine, theirs in zip(got.images, want.images):
+        if mine != theirs:
+            raise CrashCheckFailure(
+                f"replayed image for segment {theirs.name!r} differs"
+            )

@@ -32,6 +32,28 @@ class TestRegionLogView:
         assert view.offset_of(record) == 0x40
         assert view.va_of(record) == va + 0x40
 
+    def test_frame_map_cache_survives_remap(self, machine, proc):
+        # Regression: offset_of caches frame->page translations, and a
+        # stale hit after the kernel remaps pages (or the allocator
+        # reuses a frame number for a different page) must not silently
+        # translate a record to the wrong segment offset.
+        region, log, va = make_logged_region(machine, size=4 * PAGE_SIZE)
+        proc.write(va + 0x10, 1)  # page 0
+        proc.write(va + PAGE_SIZE + 0x20, 2)  # page 1
+        machine.quiesce()
+        view = RegionLogView(region)
+        rec0, rec1 = view.records()
+        # Populate the cache with the current frame layout.
+        assert view.offset_of(rec0) == 0x10
+        assert view.offset_of(rec1) == PAGE_SIZE + 0x20
+        # Remap: the two pages swap physical frames.  The old records'
+        # physical addresses now belong to the *other* page.
+        page0 = region.segment.page(0)
+        page1 = region.segment.page(1)
+        page0.frame, page1.frame = page1.frame, page0.frame
+        assert view.offset_of(rec0) == PAGE_SIZE + 0x10
+        assert view.offset_of(rec1) == 0x20
+
     def test_foreign_record_rejected(self, machine, proc):
         region, log, va = make_logged_region(machine)
         view = RegionLogView(region)

@@ -133,6 +133,43 @@ class TestReverseExecutor:
         proc.write(va, 0xBB)
         assert int.from_bytes(rex.state_at(0)[0:4], "little") == 0xAA
 
+    def test_history_quiesces_every_cpu(self, machine, proc):
+        # Regression: history() used to sync only CPU 0.  Reading the
+        # log is then unordered with the other CPUs' writes — the
+        # cycle-domain race the sanitizer exists to catch — whereas a
+        # whole-machine quiesce is a global barrier.
+        from repro.core.process import Process
+        from repro.sanitize import race
+
+        region, va = make_target(machine, proc)
+        rex = ReverseExecutor(region)
+        other = Process(machine, cpu_index=1, address_space=proc.address_space())
+        proc.write(va, 0x11)
+        machine.quiesce()  # order CPU 0's write before CPU 1's
+        detector = race.LogRaceDetector()
+        race.install(detector)
+        try:
+            other.write(va, 0x22)
+            assert len(rex) == 2  # CPU 1's write is visible
+            proc.write(va, 0x33)  # CPU 0 writes after reading history
+        finally:
+            race.uninstall()
+        # history()'s quiesce ordered CPU 1's write before CPU 0's next
+        # one; with the old sync(cpu(0)) these two writes race.
+        assert detector.races_seen == 0
+        assert int.from_bytes(rex.state_at(3)[0:4], "little") == 0x33
+
+    def test_seek_uses_checkpoints_near_the_tip(self, machine, proc):
+        region, va = make_target(machine, proc)
+        rex = ReverseExecutor(region, checkpoint_interval=8)
+        for i in range(40):
+            proc.write(va + 4 * (i % 16), i)
+        rex.seek(39)
+        # A near-tip seek replays only the gap past the last checkpoint,
+        # never the whole 40-write history.
+        assert rex.engine.stats.records_replayed < 8
+        assert rex.engine.stats.checkpoints_captured == 4
+
 
 class TestTraceAndAnalysis:
     def _logged_region(self, machine, proc):

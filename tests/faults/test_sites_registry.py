@@ -108,6 +108,21 @@ class TestEverySiteIsExercised:
             run_copy()
         assert plan.counts["logger.overload"] >= 1
 
+    def test_replay_sites_reached(self, machine, proc):
+        from repro.replay.engine import ReplayEngine
+
+        from conftest import make_logged_region
+
+        region, _log, va = make_logged_region(machine)
+        engine = ReplayEngine(region, checkpoint_interval=4)
+        plan = FaultPlan(seed=0)
+        with faultplan.installed(plan):
+            for i in range(8):
+                proc.write(va + 4 * i, i)
+            engine.state_at(len(engine))
+        assert plan.counts["replay.checkpoint"] >= 1
+        assert plan.counts["replay.restore"] == 1
+
     def test_fifo_overflow_reached(self):
         from repro.hw.fifo import HardwareFifo, PushResult
 
@@ -123,6 +138,8 @@ class TestEverySiteIsExercised:
             "timewarp.rollback.restore",
             "logger.overload",
             "fifo.overflow",
+            "replay.checkpoint",
+            "replay.restore",
         }
         assert exercised == set(ALL_SITES), (
             "registry and exercise tests drifted apart: "

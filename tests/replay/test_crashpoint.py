@@ -1,0 +1,90 @@
+"""Tests: replaying a FaultPlan to its CrashPoint and verifying it."""
+
+import pytest
+
+from repro.errors import LoggingError
+from repro.faults.checker import CrashCheckFailure
+from repro.faults.plan import CrashSpec, FaultPlan
+from repro.faults.sweep import DEFAULT_SCRIPT, run_script
+from repro.replay import replay_to_crash, verify_crash_replay
+
+
+def crash_once(site="rvm.commit.durable", nth=1, mode="before", seed=0):
+    from repro.rvm.rlvm import RLVM
+
+    plan = FaultPlan(seed=seed, crash=CrashSpec(site, nth, mode))
+    result = run_script(RLVM, DEFAULT_SCRIPT, plan)
+    assert result.crash is not None
+    return result.crash
+
+
+class TestFaultPlanFromRepr:
+    def test_round_trips_fresh_and_unfired(self):
+        plan = FaultPlan(seed=7, crash=CrashSpec("wal.append", 2, "torn"))
+        plan.fired = True
+        plan.counts["wal.append"] = 5
+        rebuilt = FaultPlan.from_repr(repr(plan))
+        assert repr(rebuilt) == repr(plan)
+        assert not rebuilt.fired
+        assert not rebuilt.counts
+
+    def test_rejects_garbage(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            FaultPlan.from_repr("__import__('os')")
+        with pytest.raises(ConfigError):
+            FaultPlan.from_repr("CrashSpec('wal.append')")
+
+
+class TestReplayToCrash:
+    def test_reproduces_durable_snapshot_exactly(self):
+        original = crash_once()
+        # Replay from the repr string alone — the CI-artifact workflow.
+        replay = replay_to_crash(original.plan_repr)
+        assert (replay.site, replay.seq) == (original.site, original.seq)
+        verify_crash_replay(original, replay)
+        assert replay.snapshot.disk_bytes == original.snapshot.disk_bytes
+        assert replay.snapshot.images == original.snapshot.images
+
+    def test_accepts_crashpoint_and_plan_objects(self):
+        original = crash_once(site="ramdisk.write", nth=3, mode="torn")
+        verify_crash_replay(original, replay_to_crash(original))
+        fired_plan = FaultPlan.from_repr(original.plan_repr)
+        replay_to_crash(fired_plan)  # plan object round-trips via repr
+
+    @pytest.mark.parametrize(
+        "site,mode",
+        [
+            ("rvm.commit.log", "before"),
+            ("ramdisk.write", "after"),
+            ("wal.append", "torn"),
+        ],
+    )
+    def test_replay_is_exact_across_sites_and_modes(self, site, mode):
+        original = crash_once(site=site, mode=mode)
+        verify_crash_replay(original, replay_to_crash(original))
+
+    def test_unreachable_plan_reported(self):
+        plan = FaultPlan(seed=0, crash=CrashSpec("rvm.commit.durable", 999))
+        with pytest.raises(LoggingError, match="did not fire"):
+            replay_to_crash(plan)
+
+    def test_verify_catches_a_different_crash(self):
+        a = crash_once(site="rvm.commit.durable", nth=1)
+        b = replay_to_crash(crash_once(site="rvm.commit.durable", nth=2))
+        with pytest.raises(CrashCheckFailure):
+            verify_crash_replay(a, b)
+
+    def test_verify_catches_snapshot_drift(self):
+        original = crash_once()
+        replay = replay_to_crash(original)
+        tampered = replay.crash.snapshot.__class__(
+            disk_bytes=b"\x00" + replay.snapshot.disk_bytes[1:],
+            wal_base=replay.snapshot.wal_base,
+            wal_capacity=replay.snapshot.wal_capacity,
+            images=replay.snapshot.images,
+        )
+        replay.crash.snapshot = tampered
+        with pytest.raises(CrashCheckFailure, match="disk bytes"):
+            verify_crash_replay(original, replay)

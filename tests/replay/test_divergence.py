@@ -1,0 +1,127 @@
+"""Tests: divergence detection between recorded and replayed runs."""
+
+import random
+
+import pytest
+
+from repro.core.context import boot, set_current_machine
+from repro.core.log_segment import LogSegment
+from repro.core.region import StdRegion
+from repro.core.segment import StdSegment
+from repro.errors import LoggingError
+from repro.hw.params import MachineConfig
+from repro.hw.records import LogRecord
+from repro.obs.trace import validate_trace
+from repro.replay import find_divergence, record_reference, replay_against
+
+CONFIG = MachineConfig(memory_bytes=32 * 1024 * 1024)
+
+
+def write_workload(seed, nwrites=40, perturb_at=None, extra=0):
+    """Deterministic seeded writes; optionally perturb one value or
+    append ``extra`` additional writes."""
+
+    def run():
+        machine = boot(CONFIG)
+        try:
+            proc = machine.current_process
+            region = StdRegion(StdSegment(4 * 4096, machine=machine))
+            log = LogSegment(machine=machine)
+            region.log(log)
+            va = region.bind(proc.address_space())
+            rng = random.Random(seed)
+            for i in range(nwrites + extra):
+                value = rng.randrange(2**32)
+                if i == perturb_at:
+                    value ^= 0x80
+                proc.write(va + 4 * rng.randrange(region.size // 4), value)
+            machine.quiesce()
+            return {"machine": machine, "log": log}
+        finally:
+            set_current_machine(None)
+
+    return run
+
+
+class TestRecordReference:
+    def test_identical_rerun_reports_no_divergence(self):
+        reference = record_reference(write_workload(seed=1), trace=False)
+        assert len(reference) == 40
+        assert replay_against(reference, write_workload(seed=1)) is None
+
+    def test_reference_carries_a_valid_obs_trace(self):
+        reference = record_reference(write_workload(seed=2))
+        assert reference.trace is not None
+        validate_trace(reference.trace)
+        # The per-record "logger" category narrates the compared stream.
+        assert any(
+            ev.get("cat") == "logger" for ev in reference.trace["traceEvents"]
+        )
+
+    def test_traced_reference_matches_untraced_replay(self):
+        # The obs guarantee the detector leans on: tracing must not
+        # perturb the cycle domain, so a traced reference replays
+        # identically untraced (timestamps included).
+        reference = record_reference(write_workload(seed=3), trace=True)
+        assert replay_against(reference, write_workload(seed=3), trace=False) is None
+
+    def test_canned_workload_by_name(self):
+        reference = record_reference("copy", trace=False)
+        assert reference.workload == "copy"
+        assert replay_against(reference) is None
+
+    def test_workload_without_log_rejected(self):
+        def no_log():
+            machine = boot(CONFIG)
+            set_current_machine(None)
+            return {"machine": machine, "log": None}
+
+        with pytest.raises(LoggingError, match="no hardware log"):
+            record_reference(no_log, trace=False)
+
+
+class TestPerturbationDetection:
+    def test_perturbed_value_reports_first_divergent_cycle(self):
+        reference = record_reference(write_workload(seed=4), trace=False)
+        divergence = replay_against(
+            reference, write_workload(seed=4, perturb_at=17)
+        )
+        assert divergence is not None
+        assert divergence.index == 17
+        assert divergence.expected.value != divergence.actual.value
+        assert "value" in divergence.reason
+        # The reported cycle is the diverging record's timestamp window.
+        assert (
+            divergence.cycle
+            == reference.records[17].timestamp * reference.timestamp_divider
+        )
+
+    def test_short_replay_reported_at_truncation_point(self):
+        reference = record_reference(write_workload(seed=5), trace=False)
+        divergence = replay_against(
+            reference, write_workload(seed=5, nwrites=30)
+        )
+        assert divergence is not None
+        assert divergence.index == 30
+        assert divergence.actual is None
+        assert divergence.reason == "replay stopped short"
+
+    def test_extra_writes_reported_past_reference_end(self):
+        reference = record_reference(write_workload(seed=6), trace=False)
+        divergence = replay_against(
+            reference, write_workload(seed=6, extra=5)
+        )
+        assert divergence is not None
+        assert divergence.index == 40
+        assert divergence.expected is None
+        assert divergence.reason == "replay logged extra records"
+
+
+class TestFindDivergence:
+    def test_pure_stream_comparison(self):
+        a = [LogRecord(addr=0, value=1, size=4, timestamp=10)]
+        b = [LogRecord(addr=0, value=2, size=4, timestamp=10)]
+        divergence = find_divergence(a, b, timestamp_divider=4)
+        assert divergence.index == 0
+        assert divergence.cycle == 40
+        assert find_divergence(a, a) is None
