@@ -6,9 +6,11 @@ box.  ``python -m repro trace <workload>`` captures a cycle-domain
 Perfetto trace of a canned workload (see :mod:`repro.obs.cli`);
 ``python -m repro lint`` checks the simulator invariants,
 ``python -m repro race`` replays canned workloads under the log-race
-sanitizer (see :mod:`repro.sanitize.cli`), and
+sanitizer (see :mod:`repro.sanitize.cli`),
 ``python -m repro replay`` runs the checkpointed-replay smokes
-(see :mod:`repro.replay.cli`).
+(see :mod:`repro.replay.cli`), and ``python -m repro serve`` drives
+concurrent asyncio clients against one recoverable machine over a
+chosen log backend (see :mod:`repro.serve.cli`).
 """
 
 import sys
@@ -72,6 +74,10 @@ def main(argv=None) -> int:
         from repro.replay.cli import main as replay_main
 
         return replay_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     return demo()
 
 

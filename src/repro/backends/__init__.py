@@ -1,0 +1,70 @@
+"""Pluggable log-destination backends (``LOG_DEST``-style selection).
+
+Four concrete devices behind one :class:`~repro.backends.base.LogDevice`
+protocol — ``ram`` (the paper's RAM disk), ``disk`` (slow rotating
+media), ``dram_tmpfs`` / ``nvram_tmpfs`` (memory filesystems à la
+nvthreads) — plus a :class:`~repro.backends.group_commit.GroupCommit`
+buffer that layers batched, coalesced appends over any of them.
+
+:func:`make_backend` is the one constructor everything routes through:
+the WAL, the RVM/RLVM libraries, the crash sweep, the serving
+front-end and the benchmarks all take a backend *name* and build the
+device here, so a new backend registered in :data:`BACKENDS` is
+immediately sweepable, servable and benchmarkable.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import BLOCK_BYTES, LogDevice
+from repro.backends.disk import RotatingDisk
+from repro.backends.group_commit import GroupCommit
+from repro.backends.ramdisk import RamDisk
+from repro.backends.tmpfs import TmpfsDisk, dram_tmpfs, nvram_tmpfs
+from repro.errors import ConfigError
+
+__all__ = [
+    "BACKENDS",
+    "BLOCK_BYTES",
+    "DEFAULT_BACKEND_BYTES",
+    "GroupCommit",
+    "LogDevice",
+    "RamDisk",
+    "RotatingDisk",
+    "TmpfsDisk",
+    "dram_tmpfs",
+    "make_backend",
+    "nvram_tmpfs",
+]
+
+#: Default device capacity (matches the libraries' default log size).
+DEFAULT_BACKEND_BYTES = 8 * 1024 * 1024
+
+#: name -> device constructor taking ``(size, **params)``
+BACKENDS = {
+    "ram": RamDisk,
+    "disk": RotatingDisk,
+    "dram_tmpfs": dram_tmpfs,
+    "nvram_tmpfs": nvram_tmpfs,
+}
+
+
+def make_backend(
+    name: str,
+    size: int = DEFAULT_BACKEND_BYTES,
+    group_commit: bool = False,
+    **params,
+):
+    """Build a log device by backend name, optionally group-committed.
+
+    ``params`` pass through to the device constructor (latency knobs).
+    """
+    try:
+        ctor = BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown log backend {name!r}; known: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    device = ctor(size, **params)
+    if group_commit:
+        return GroupCommit(device)
+    return device

@@ -1,0 +1,216 @@
+"""The ``LogDevice`` protocol: pluggable log-destination backends.
+
+The paper's TPC-A measurement pins durability to one device — "a RAM
+disk to hold the log" (section 4.2).  This package makes the log
+destination pluggable in the style of nvthreads' ``LOG_DEST {DISK,
+RAM, DRAM_TMPFS, NVRAM_TMPFS}``: every backend implements the same
+small protocol, differing only in its latency model (and, for the
+group-commit layer, in *when* bytes become durable).
+
+The protocol, shared by every backend:
+
+* :meth:`LogDevice.write` / :meth:`LogDevice.read` — timed operations
+  that charge the issuing CPU per the backend's cost model;
+* :meth:`LogDevice.peek` / :meth:`LogDevice.poke` — untimed access to
+  the *durable* bytes (recovery-time scanning and test setup); a
+  buffering backend's unflushed data is deliberately invisible to
+  ``peek``, exactly as it is to a post-crash scan;
+* :meth:`LogDevice.flush` — make buffered appends durable (a no-op on
+  synchronous devices); the ``backend.flush`` fault site fires here;
+* :meth:`LogDevice.barrier` — flush plus a write-ordering point: the
+  fault harness's unflushed reorder window drains, so bytes read after
+  a barrier can no longer be lost by a crash (``backend.barrier``);
+* :meth:`LogDevice.lose_volatile` — crash semantics: drop anything not
+  yet durable (buffered runs in the group-commit layer);
+* :meth:`LogDevice.durable_bytes` — the bytes a power failure leaves
+  behind, which is what crash snapshots capture.
+
+Latency models are imitation-based in the spirit of Virtuoso: a
+per-operation overhead (system call, buffer management) plus a
+per-block transfer cost, with backend-specific additions (seek and
+rotation for the rotating disk, a write-drain penalty for NVRAM-backed
+tmpfs).  The fault-injection hooks live on the shared timed paths, so
+the crash-consistency sweep drives every backend identically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+from repro.faults import plan as faultplan
+from repro.hw.cpu import CPU
+from repro.obs import core as obscore
+
+#: Transfer block size for cost accounting.
+BLOCK_BYTES = 256
+
+
+def flush_point(cpu: CPU) -> None:
+    """The fault-injection point every backend's flush passes through.
+
+    A ``before``-mode crash here models power failing just as the
+    buffered appends were about to reach the medium: nothing buffered
+    is durable.
+    """
+    faultplan.hit("backend.flush", cycle=cpu.now)
+
+
+def barrier_point(device: "LogDevice", cpu: CPU) -> None:
+    """The fault-injection + ordering point of every backend barrier.
+
+    After the barrier, writes that already reached ``device`` can no
+    longer be reordered away by a crash: the plan's unflushed window
+    for the device drains.
+    """
+    faultplan.hit("backend.barrier", cycle=cpu.now)
+    fp = faultplan._ACTIVE
+    if fp is not None:
+        fp.disk_barrier(device)
+
+
+class LogDevice:
+    """A byte-addressable durable log device with I/O cost accounting.
+
+    Subclasses select a latency model by overriding :meth:`_write_cost`
+    / :meth:`_read_cost` (or just the constructor parameters); the
+    timed paths, fault hooks, and observability spans are shared so
+    every backend is instrumented identically.
+    """
+
+    #: Short backend name (the ``LOG_DEST``-style selector).
+    name = "device"
+
+    def __init__(
+        self,
+        size: int,
+        op_overhead_cycles: int,
+        per_block_cycles: int,
+    ) -> None:
+        if size <= 0:
+            raise AddressError("log device size must be positive")
+        self.size = size
+        self.op_overhead_cycles = op_overhead_cycles
+        self.per_block_cycles = per_block_cycles
+        self._data = bytearray(size)
+        self.write_ops = 0
+        self.read_ops = 0
+        self.bytes_written = 0
+        self.flush_ops = 0
+        self.barrier_ops = 0
+
+    # ------------------------------------------------------------------
+    # Cost model (override points)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _blocks(nbytes: int) -> int:
+        return -(-max(nbytes, 1) // BLOCK_BYTES)
+
+    def _transfer_cost(self, nbytes: int) -> int:
+        return self.op_overhead_cycles + self._blocks(nbytes) * self.per_block_cycles
+
+    def _write_cost(self, offset: int, nbytes: int) -> int:
+        return self._transfer_cost(nbytes)
+
+    def _read_cost(self, offset: int, nbytes: int) -> int:
+        return self._transfer_cost(nbytes)
+
+    # ------------------------------------------------------------------
+    # Timed operations
+    # ------------------------------------------------------------------
+    def write(self, cpu: CPU, offset: int, data: bytes) -> None:
+        """Durable write of ``data`` at ``offset``; charges ``cpu``."""
+        if offset < 0 or offset + len(data) > self.size:
+            raise AddressError(f"{self.name} device write out of range")
+        fp = faultplan._ACTIVE
+        if fp is not None:
+            # May raise CrashPoint (optionally after a torn prefix or
+            # the full write reached the platter) and tracks the
+            # unflushed reorder window.
+            fp.disk_write(self, cpu, offset, data)
+        o = obscore._ACTIVE
+        start_cycle = cpu.now if o is not None else 0
+        self._data[offset : offset + len(data)] = data
+        self.write_ops += 1
+        self.bytes_written += len(data)
+        cpu.compute(self._write_cost(offset, len(data)))
+        if o is not None:
+            # After the data lands: a CrashPoint in the fault hook must
+            # not leave a span for an I/O that never happened.
+            o.metrics.inc("rvm.disk.writes")
+            o.metrics.inc("rvm.disk.bytes_written", len(data))
+            # The I/O cost is charged to the issuing CPU (these devices
+            # have no concurrent transfer engine), so the span lives on
+            # the CPU's track and nests under wal.append / rvm.commit.
+            o.span(
+                "disk",
+                "disk.write",
+                start_cycle,
+                cpu.now,
+                cpu.index,
+                args={"bytes": len(data), "backend": self.name},
+            )
+
+    def read(self, cpu: CPU, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``; charges ``cpu``."""
+        if offset < 0 or offset + length > self.size:
+            raise AddressError(f"{self.name} device read out of range")
+        fp = faultplan._ACTIVE
+        if fp is not None:
+            fp.disk_read(self)  # a timed read is a write barrier
+        o = obscore._ACTIVE
+        start_cycle = cpu.now if o is not None else 0
+        self.read_ops += 1
+        cpu.compute(self._read_cost(offset, length))
+        if o is not None:
+            o.metrics.inc("rvm.disk.reads")
+            o.span(
+                "disk",
+                "disk.read",
+                start_cycle,
+                cpu.now,
+                cpu.index,
+                args={"bytes": length, "backend": self.name},
+            )
+        return bytes(self._data[offset : offset + length])
+
+    # ------------------------------------------------------------------
+    # Durability protocol
+    # ------------------------------------------------------------------
+    def flush(self, cpu: CPU) -> None:
+        """Make buffered appends durable (no-op on synchronous devices)."""
+        flush_point(cpu)
+        self.flush_ops += 1
+        o = obscore._ACTIVE
+        if o is not None:
+            o.metrics.inc("rvm.disk.flushes")
+
+    def barrier(self, cpu: CPU) -> None:
+        """Flush, then stabilise everything already written.
+
+        After a barrier, a crash cannot lose or reorder any write
+        issued before it — the guarantee truncation relies on before it
+        scans the log back and resets the head.
+        """
+        self.flush(cpu)
+        barrier_point(self, cpu)
+        self.barrier_ops += 1
+        o = obscore._ACTIVE
+        if o is not None:
+            o.metrics.inc("rvm.disk.barriers")
+
+    def lose_volatile(self) -> None:
+        """Crash semantics: drop anything not yet durable (no-op here)."""
+
+    def durable_bytes(self) -> bytes:
+        """The bytes a power failure would leave on the medium."""
+        return bytes(self._data)
+
+    # ------------------------------------------------------------------
+    # Untimed access (recovery-time scanning and tests)
+    # ------------------------------------------------------------------
+    def peek(self, offset: int, length: int) -> bytes:
+        """Untimed read of the *durable* bytes."""
+        return bytes(self._data[offset : offset + length])
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Untimed durable write (test setup and torn-write partials)."""
+        self._data[offset : offset + len(data)] = data

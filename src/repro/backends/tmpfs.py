@@ -1,0 +1,70 @@
+"""Memory-filesystem log devices (``DRAM_TMPFS`` / ``NVRAM_TMPFS``).
+
+nvthreads points its log at a tmpfs mount and distinguishes the DRAM
+case from an NVRAM-emulating one (``LOG_DEST {DRAM_TMPFS,
+NVRAM_TMPFS}``); the difference is a write-latency penalty modelling
+non-volatile media drain time.  Both share one latency model here:
+
+* a per-operation overhead slightly above the RAM disk's (the request
+  traverses the VFS layer rather than a raw block device);
+* a per-block copy cost;
+* for writes only, an extra per-block *drain* cost — zero for DRAM,
+  positive for NVRAM, standing in for the emulated store-fence +
+  write-back latency NVM emulators inject.
+
+Because the two differ only in latency parameters, they are the pair
+the differential property test uses to prove backend choice changes
+*when* things happen but never *what* ends up durable.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import LogDevice
+
+#: VFS traversal + page-cache bookkeeping per operation.
+DEFAULT_OP_OVERHEAD_CYCLES = 12_500
+
+#: Copy cost per 256-byte block.
+DEFAULT_PER_BLOCK_CYCLES = 480
+
+#: Extra per-block write-drain cost for the NVRAM flavour.
+DEFAULT_NVRAM_DRAIN_PER_BLOCK_CYCLES = 520
+
+
+class TmpfsDisk(LogDevice):
+    """A tmpfs-backed log file with an optional NVM write-drain cost."""
+
+    name = "dram_tmpfs"
+
+    def __init__(
+        self,
+        size: int,
+        op_overhead_cycles: int = DEFAULT_OP_OVERHEAD_CYCLES,
+        per_block_cycles: int = DEFAULT_PER_BLOCK_CYCLES,
+        write_drain_per_block_cycles: int = 0,
+    ) -> None:
+        super().__init__(size, op_overhead_cycles, per_block_cycles)
+        self.write_drain_per_block_cycles = write_drain_per_block_cycles
+
+    def _write_cost(self, offset: int, nbytes: int) -> int:
+        return (
+            self._transfer_cost(nbytes)
+            + self._blocks(nbytes) * self.write_drain_per_block_cycles
+        )
+
+
+def dram_tmpfs(size: int, **params) -> TmpfsDisk:
+    """The volatile-media flavour: no write-drain penalty."""
+    disk = TmpfsDisk(size, **params)
+    disk.name = "dram_tmpfs"
+    return disk
+
+
+def nvram_tmpfs(size: int, **params) -> TmpfsDisk:
+    """The NVM-emulating flavour: writes pay a per-block drain cost."""
+    params.setdefault(
+        "write_drain_per_block_cycles", DEFAULT_NVRAM_DRAIN_PER_BLOCK_CYCLES
+    )
+    disk = TmpfsDisk(size, **params)
+    disk.name = "nvram_tmpfs"
+    return disk

@@ -75,7 +75,9 @@ def capture_snapshot(backend) -> DurableSnapshot:
             SegmentImage(rseg.seg_id, rseg.name, bytes(rseg.disk_image), data_off)
         )
     return DurableSnapshot(
-        disk_bytes=bytes(backend.disk._data),
+        # durable_bytes(), not the raw buffer: a buffering backend's
+        # unflushed batch must be absent, as a power failure leaves it.
+        disk_bytes=backend.disk.durable_bytes(),
         wal_base=backend.wal.base,
         wal_capacity=backend.wal.capacity,
         images=tuple(images),

@@ -10,7 +10,7 @@ optional torn-write and write-reordering behaviour for the durable
 store, in the spirit of rr's chaos mode (deterministic schedules that
 *look* adversarial but replay exactly).
 
-Instrumented modules (``rvm/ramdisk.py``, ``rvm/wal.py``,
+Instrumented modules (``backends/base.py``, ``rvm/wal.py``,
 ``rvm/rvm.py``, ``rvm/rlvm.py``, ``hw/fifo.py``, ``hw/logger.py``,
 ``timewarp/state_saving.py``) call the module-level hooks, which are
 no-ops unless a plan is installed — the unfaulted hot paths pay one
@@ -256,8 +256,8 @@ class FaultPlan:
                 self._window.popleft()  # flushed: can no longer be lost
 
     def disk_read(self, disk) -> None:
-        """Hook called by :meth:`RamDisk.read`: a timed device read is a
-        write barrier — the unflushed window drains first.
+        """Hook called by :meth:`LogDevice.read`: a timed device read is
+        a write barrier — the unflushed window drains first.
 
         Without this, truncation could ingest log entries via its
         read-back, apply them to the segment images, and then have the
@@ -267,6 +267,13 @@ class FaultPlan:
         return is the weakest device assumption under which the
         libraries' read-then-apply-then-reset protocol stays sound.
         """
+        self.disk_barrier(disk)
+
+    def disk_barrier(self, disk) -> None:
+        """Hook called by :meth:`LogDevice.barrier` (and by timed
+        reads): every write ``disk`` has already accepted becomes
+        stable — its entries leave the unflushed reorder window, so a
+        later crash can no longer revert them."""
         if self._window:
             self._window = deque(e for e in self._window if e[0] is not disk)
 

@@ -45,6 +45,10 @@ from repro.hw.params import MachineConfig
 #: Small machine: sweeps boot one per crash run.
 SWEEP_CONFIG = MachineConfig(memory_bytes=32 * 1024 * 1024)
 
+#: Log-device capacity for sweep runs — the script logs a few KiB, so
+#: a small device keeps hundreds of crash runs cheap.
+SWEEP_DEVICE_BYTES = 256 * 1024
+
 #: The canonical sweep workload: commits, an abort, no-flush commits
 #: with a group flush, and two truncations — every durable code path.
 DEFAULT_SCRIPT = (
@@ -74,6 +78,8 @@ class RunResult:
     crash: CrashPoint | None
     #: durable snapshot at normal completion (None when crashed)
     end_snapshot: object | None
+    #: the driving process's cycle count when the run ended
+    final_cycle: int = 0
 
 
 @dataclass
@@ -100,17 +106,20 @@ def run_script(
     plan: FaultPlan,
     seg_bytes: int = 4096,
     config: MachineConfig | None = None,
+    device_factory=None,
 ) -> RunResult:
     """Run ``script`` on a fresh machine under ``plan``.
 
     The oracle mirrors every operation; the plan's snapshot source
     captures durable state at the crash instant (or we capture it at
-    normal completion).
+    normal completion).  ``device_factory`` (no-arg callable) selects
+    the log device; None keeps the library's default RAM disk.
     """
     machine = boot(config or SWEEP_CONFIG)
     try:
         proc = machine.current_process
-        backend = backend_cls(proc)
+        disk = device_factory() if device_factory is not None else None
+        backend = backend_cls(proc, disk=disk)
         oracle = WorkloadOracle()
         va = backend.map("db", seg_bytes)
         rseg = backend.segments["db"]
@@ -132,7 +141,7 @@ def run_script(
                 crash = cp
         if crash is None:
             end_snapshot = capture_snapshot(backend)
-        return RunResult(plan, oracle, crash, end_snapshot)
+        return RunResult(plan, oracle, crash, end_snapshot, proc.now)
     finally:
         set_current_machine(None)
 
@@ -185,10 +194,12 @@ def check_run(result: RunResult, context: str = "") -> set:
     )
 
 
-def enumerate_crash_specs(backend_cls, script, seed: int = 0) -> list[CrashSpec]:
+def enumerate_crash_specs(
+    backend_cls, script, seed: int = 0, device_factory=None
+) -> list[CrashSpec]:
     """Count pass: every (site, nth, mode) this workload can reach."""
     plan = FaultPlan(seed=seed)
-    result = run_script(backend_cls, script, plan)
+    result = run_script(backend_cls, script, plan, device_factory=device_factory)
     if result.crash is not None:  # pragma: no cover - count pass never crashes
         raise CrashCheckFailure("count pass crashed; the plan had no trigger")
     # The unfaulted run must itself be consistent.
@@ -212,13 +223,18 @@ def sweep(
     script=DEFAULT_SCRIPT,
     seed: int = 0,
     reorder_window: int = 0,
+    device_factory=None,
+    device_label: str = "",
 ) -> SweepReport:
     """Crash at every reachable injection site; check ACID at each."""
-    report = SweepReport(backend=backend_cls.__name__)
-    report.specs = enumerate_crash_specs(backend_cls, script, seed)
+    label = backend_cls.__name__ + (f"/{device_label}" if device_label else "")
+    report = SweepReport(backend=label)
+    report.specs = enumerate_crash_specs(
+        backend_cls, script, seed, device_factory=device_factory
+    )
     for spec in report.specs:
         plan = FaultPlan(seed=seed, crash=spec, reorder_window=reorder_window)
-        result = run_script(backend_cls, script, plan)
+        result = run_script(backend_cls, script, plan, device_factory=device_factory)
         if result.crash is None:
             report.not_fired.append(spec)
             continue
@@ -238,32 +254,54 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--reorder-window", type=int, default=0)
     parser.add_argument(
+        "--devices",
+        default="ram",
+        help="comma list of log devices from repro.backends.BACKENDS",
+    )
+    parser.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="layer the batched group-commit buffer over each device",
+    )
+    parser.add_argument(
         "--artifact",
         default=None,
         help="file to write replayable failing FaultPlan reprs to",
     )
     args = parser.parse_args(argv)
 
+    from repro.backends import make_backend
     from repro.rvm.rlvm import RLVM
     from repro.rvm.rvm import RVM
 
     backends = {"rvm": RVM, "rlvm": RLVM}
     failures = []
     for name in args.backends.split(","):
-        report = sweep(
-            backends[name.strip()],
-            seed=args.seed,
-            reorder_window=args.reorder_window,
-        )
-        print(
-            f"{report.backend}: {len(report.fired)}/{len(report.specs)} crash "
-            f"points fired across families {sorted(report.families)}; "
-            f"{len(report.failures)} ACID failures"
-        )
-        for spec in report.not_fired:
-            failures.append((report.backend, spec, "", "crash spec never fired"))
-        for spec, plan_repr, message in report.failures:
-            failures.append((report.backend, spec, plan_repr, message))
+        for device in args.devices.split(","):
+            device = device.strip()
+
+            def device_factory(device=device):
+                return make_backend(
+                    device, SWEEP_DEVICE_BYTES, group_commit=args.group_commit
+                )
+
+            label = device + ("+group" if args.group_commit else "")
+            report = sweep(
+                backends[name.strip()],
+                seed=args.seed,
+                reorder_window=args.reorder_window,
+                device_factory=device_factory,
+                device_label=label,
+            )
+            print(
+                f"{report.backend}: {len(report.fired)}/{len(report.specs)} crash "
+                f"points fired across families {sorted(report.families)}; "
+                f"{len(report.failures)} ACID failures"
+            )
+            for spec in report.not_fired:
+                failures.append((report.backend, spec, "", "crash spec never fired"))
+            for spec, plan_repr, message in report.failures:
+                failures.append((report.backend, spec, plan_repr, message))
 
     if failures:
         lines = [

@@ -1,119 +1,23 @@
-"""RAM-disk device for holding the recovery log.
+"""Compatibility re-export: the RAM disk moved to ``repro.backends``.
 
-The paper's TPC-A measurement uses "a RAM disk to hold the log"
-(section 4.2).  The device is durable across simulated crashes (it
-stands in for battery-backed RAM / fast stable storage) and charges the
-kernel I/O path per operation: a RAM disk removes seek/rotation, not
-the system-call, buffer management and copy costs — which is exactly
-why commit and truncation still dominate TPC-A ("only about 25% of the
-CPU time in RVM is actually spent inside the transaction.  The rest is
-spent performing the commit and truncating the log").
+The log device grew into a family of pluggable backends (see
+:mod:`repro.backends`); the paper's RAM disk now lives at
+:mod:`repro.backends.ramdisk` as one of them.  This module keeps the
+historical import path working for existing callers and tests.
 """
 
 from __future__ import annotations
 
-from repro.errors import AddressError
-from repro.faults import plan as faultplan
-from repro.hw.cpu import CPU
-from repro.obs import core as obscore
+from repro.backends.ramdisk import (
+    BLOCK_BYTES,
+    DEFAULT_OP_OVERHEAD_CYCLES,
+    DEFAULT_PER_BLOCK_CYCLES,
+    RamDisk,
+)
 
-#: Kernel I/O path per operation (system call, buffer management).
-#: Calibrated so that the four log I/Os of a TPC-A transaction (redo
-#: append, commit record, truncation read-back, log-head update) plus
-#: per-range processing land the paper's Table 3 throughput: 418
-#: transactions/second under RVM and 552 under RLVM at 25 MHz.
-DEFAULT_OP_OVERHEAD_CYCLES = 10_500
-
-#: Copy cost per 256-byte block transferred.
-DEFAULT_PER_BLOCK_CYCLES = 400
-
-#: Transfer block size for cost accounting.
-BLOCK_BYTES = 256
-
-
-class RamDisk:
-    """A byte-addressable durable RAM disk with I/O cost accounting."""
-
-    def __init__(
-        self,
-        size: int,
-        op_overhead_cycles: int = DEFAULT_OP_OVERHEAD_CYCLES,
-        per_block_cycles: int = DEFAULT_PER_BLOCK_CYCLES,
-    ) -> None:
-        if size <= 0:
-            raise AddressError("RAM disk size must be positive")
-        self.size = size
-        self.op_overhead_cycles = op_overhead_cycles
-        self.per_block_cycles = per_block_cycles
-        self._data = bytearray(size)
-        self.write_ops = 0
-        self.read_ops = 0
-        self.bytes_written = 0
-
-    def _transfer_cost(self, nbytes: int) -> int:
-        blocks = -(-max(nbytes, 1) // BLOCK_BYTES)
-        return self.op_overhead_cycles + blocks * self.per_block_cycles
-
-    def write(self, cpu: CPU, offset: int, data: bytes) -> None:
-        """Durable write of ``data`` at ``offset``; charges ``cpu``."""
-        if offset < 0 or offset + len(data) > self.size:
-            raise AddressError("RAM disk write out of range")
-        fp = faultplan._ACTIVE
-        if fp is not None:
-            # May raise CrashPoint (optionally after a torn prefix or
-            # the full write reached the platter) and tracks the
-            # unflushed reorder window.
-            fp.disk_write(self, cpu, offset, data)
-        o = obscore._ACTIVE
-        start_cycle = cpu.now if o is not None else 0
-        self._data[offset : offset + len(data)] = data
-        self.write_ops += 1
-        self.bytes_written += len(data)
-        cpu.compute(self._transfer_cost(len(data)))
-        if o is not None:
-            # After the data lands: a CrashPoint in the fault hook must
-            # not leave a span for an I/O that never happened.
-            o.metrics.inc("rvm.disk.writes")
-            o.metrics.inc("rvm.disk.bytes_written", len(data))
-            # The I/O cost is charged to the issuing CPU (a RAM disk has
-            # no concurrent transfer engine), so the span lives on the
-            # CPU's track and nests under wal.append / rvm.commit.
-            o.span(
-                "disk",
-                "disk.write",
-                start_cycle,
-                cpu.now,
-                cpu.index,
-                args={"bytes": len(data)},
-            )
-
-    def read(self, cpu: CPU, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes at ``offset``; charges ``cpu``."""
-        if offset < 0 or offset + length > self.size:
-            raise AddressError("RAM disk read out of range")
-        fp = faultplan._ACTIVE
-        if fp is not None:
-            fp.disk_read(self)  # a timed read is a write barrier
-        o = obscore._ACTIVE
-        start_cycle = cpu.now if o is not None else 0
-        self.read_ops += 1
-        cpu.compute(self._transfer_cost(length))
-        if o is not None:
-            o.metrics.inc("rvm.disk.reads")
-            o.span(
-                "disk",
-                "disk.read",
-                start_cycle,
-                cpu.now,
-                cpu.index,
-                args={"bytes": length},
-            )
-        return bytes(self._data[offset : offset + length])
-
-    def peek(self, offset: int, length: int) -> bytes:
-        """Untimed read (recovery-time scanning and tests)."""
-        return bytes(self._data[offset : offset + length])
-
-    def poke(self, offset: int, data: bytes) -> None:
-        """Untimed write (test setup only)."""
-        self._data[offset : offset + len(data)] = data
+__all__ = [
+    "BLOCK_BYTES",
+    "DEFAULT_OP_OVERHEAD_CYCLES",
+    "DEFAULT_PER_BLOCK_CYCLES",
+    "RamDisk",
+]

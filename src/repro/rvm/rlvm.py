@@ -34,8 +34,9 @@ from repro.core.log_segment import LogSegment
 from repro.core.process import Process
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
+from repro.backends.base import LogDevice
+from repro.backends.ramdisk import RamDisk
 from repro.obs import core as obscore
-from repro.rvm.ramdisk import RamDisk
 from repro.rvm.rvm import DEFAULT_DISK_BYTES
 from repro.rvm.wal import WriteAheadLog
 
@@ -138,7 +139,7 @@ class RLVM:
     def __init__(
         self,
         proc: Process,
-        disk: RamDisk | None = None,
+        disk: LogDevice | None = None,
         wal: WriteAheadLog | None = None,
     ) -> None:
         self.proc = proc
@@ -260,6 +261,10 @@ class RLVM:
             if all_writes:
                 self.wal.append_writes(proc.cpu, txn.tid, all_writes)
             self.wal.append_commit(proc.cpu, txn.tid)
+            # A buffering backend holds the entries volatile until its
+            # flush; a synchronous commit may not acknowledge before
+            # they are stable (free on the synchronous devices).
+            self.disk.flush(proc.cpu)
             faultplan.hit("rvm.commit.durable", cycle=proc.now)
         else:
             proc.compute(NO_FLUSH_COMMIT_CYCLES)
@@ -325,6 +330,9 @@ class RLVM:
         pending = len(self._pending)
         faultplan.hit("rvm.flush", cycle=self.proc.now)
         self.wal.append_transactions(self.proc.cpu, self._pending)
+        # The flush's contract is durability, so a buffering backend
+        # must push its batch now (free on the synchronous devices).
+        self.disk.flush(self.proc.cpu)
         self._pending.clear()
         if o is not None:
             o.metrics.inc("rvm.flushes")
@@ -351,6 +359,11 @@ class RLVM:
         o = obscore._ACTIVE
         truncate_start = proc.now if o is not None else 0
         faultplan.hit("rvm.truncate.begin", cycle=proc.now)
+        # Truncation scans the *durable* log (untimed peeks below), so
+        # any batch a buffering backend still holds must reach the
+        # medium first, and the barrier pins every logged entry stable
+        # before the images absorb it.
+        self.disk.barrier(proc.cpu)
         by_id = {r.seg_id: r for r in self.segments.values()}
         entries = list(self.wal.committed_writes())
         if entries:
@@ -364,6 +377,7 @@ class RLVM:
             proc.compute(150)
         faultplan.hit("rvm.truncate.applied", cycle=proc.now)
         self.wal.reset(proc.cpu)
+        self.disk.flush(proc.cpu)  # the head marker itself must land
         if o is not None:
             o.metrics.inc("rvm.truncates")
             o.span(
@@ -379,6 +393,7 @@ class RLVM:
         """Crash (lose volatile state) and recover from disk + WAL."""
         proc = proc or self.proc
         self._pending.clear()  # unflushed commits die with the crash
+        self.disk.lose_volatile()  # so does any buffered device batch
         recovered = RLVM(proc, disk=self.disk, wal=self.wal)
         recovered._next_tid = self._next_tid
         # Rediscover the durable tail as real recovery would, then

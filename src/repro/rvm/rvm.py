@@ -40,8 +40,9 @@ from repro.faults import plan as faultplan
 from repro.obs import core as obscore
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
+from repro.backends.base import LogDevice
+from repro.backends.ramdisk import RamDisk
 from repro.hw.params import LINE_SIZE
-from repro.rvm.ramdisk import RamDisk
 from repro.rvm.wal import WriteAheadLog
 
 #: Library entry + range bookkeeping + undo allocation per set_range.
@@ -208,6 +209,10 @@ class Transaction:
             if writes:
                 self.rvm.wal.append_writes(proc.cpu, self.tid, writes)
             self.rvm.wal.append_commit(proc.cpu, self.tid)
+            # A buffering backend holds the entries volatile until its
+            # flush; a synchronous commit may not acknowledge before
+            # they are stable (free on the synchronous devices).
+            self.rvm.disk.flush(proc.cpu)
             faultplan.hit("rvm.commit.durable", cycle=proc.now)
         else:
             proc.compute(NO_FLUSH_COMMIT_CYCLES)
@@ -297,7 +302,7 @@ class RVM:
     def __init__(
         self,
         proc: Process,
-        disk: RamDisk | None = None,
+        disk: LogDevice | None = None,
         wal: WriteAheadLog | None = None,
     ) -> None:
         self.proc = proc
@@ -376,6 +381,9 @@ class RVM:
         pending = len(self._pending)
         faultplan.hit("rvm.flush", cycle=self.proc.now)
         self.wal.append_transactions(self.proc.cpu, self._pending)
+        # The flush's contract is durability, so a buffering backend
+        # must push its batch now (free on the synchronous devices).
+        self.disk.flush(self.proc.cpu)
         self._pending.clear()
         if o is not None:
             o.metrics.inc("rvm.flushes")
@@ -408,6 +416,11 @@ class RVM:
         o = obscore._ACTIVE
         truncate_start = proc.now if o is not None else 0
         faultplan.hit("rvm.truncate.begin", cycle=proc.now)
+        # Truncation scans the *durable* log (untimed peeks below), so
+        # any batch a buffering backend still holds must reach the
+        # medium first, and the barrier pins every logged entry stable
+        # before the images absorb it.
+        self.disk.barrier(proc.cpu)
         by_id = {r.seg_id: r for r in self.segments.values()}
         entries = list(self.wal.committed_writes())
         if entries:
@@ -423,6 +436,7 @@ class RVM:
         faultplan.hit("rvm.truncate.applied", cycle=proc.now)
         # Persist the new log head (one I/O), then reclaim the space.
         self.wal.reset(proc.cpu)
+        self.disk.flush(proc.cpu)  # the head marker itself must land
         if o is not None:
             o.metrics.inc("rvm.truncates")
             o.span(
@@ -446,6 +460,7 @@ class RVM:
         """
         proc = proc or self.proc
         self._pending.clear()  # unflushed commits die with the crash
+        self.disk.lose_volatile()  # so does any buffered device batch
         recovered = RVM(proc, disk=self.disk, wal=self.wal)
         recovered._next_tid = self._next_tid
         schema = [(r.name, r.size, r.disk_image) for r in self.segments.values()]

@@ -1,4 +1,4 @@
-"""Write-ahead log on the RAM disk.
+"""Write-ahead log on a pluggable log device.
 
 Shared by RVM and RLVM: transactions append BEGIN / WRITE / COMMIT /
 ABORT entries; recovery scans the log and replays the writes of
@@ -40,11 +40,11 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.backends.base import LogDevice
 from repro.errors import RecoveryError
 from repro.faults import plan as faultplan
 from repro.hw.cpu import CPU
 from repro.obs import core as obscore
-from repro.rvm.ramdisk import RamDisk
 
 _HEADER = struct.Struct("<IBI")
 _TID = struct.Struct("<I")
@@ -79,9 +79,9 @@ class WalEntry:
 
 
 class WriteAheadLog:
-    """Append-only transaction log on a :class:`RamDisk`."""
+    """Append-only transaction log on any :class:`LogDevice` backend."""
 
-    def __init__(self, disk: RamDisk, base: int = 0, capacity: int | None = None):
+    def __init__(self, disk: LogDevice, base: int = 0, capacity: int | None = None):
         self.disk = disk
         self.base = base
         self.capacity = capacity if capacity is not None else disk.size - base
@@ -142,6 +142,10 @@ class WriteAheadLog:
         self, cpu: CPU, tid: int, writes: list[tuple[int, int, bytes]]
     ) -> None:
         """Append several WRITE entries as one disk operation (group I/O)."""
+        if not writes:
+            # An empty group is a no-op, exactly like append_transactions:
+            # no I/O, no cycles, no append accounting.
+            return
         parts = []
         first_len = 0
         for seg_id, offset, data in writes:

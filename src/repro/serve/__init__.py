@@ -1,0 +1,26 @@
+"""Asyncio serving front-end: many clients, one recoverable machine.
+
+The paper's measurements drive RVM/RLVM from a single benchmark loop;
+this package adds the server shape real deployments use — many
+concurrent clients submitting begin/write/commit transactions to one
+machine over an in-process async channel, with the server serialising
+transactions, optionally batching commit durability (group commit),
+and acknowledging each commit only once its log records are stable.
+
+Everything stays inside the simulation's deterministic cycle domain:
+the channel is a FIFO :class:`asyncio.Queue`, the event loop schedules
+pure-Python coroutines with no real I/O, and all time is the simulated
+machine's — so a seeded serve run is exactly reproducible, crashes and
+all.
+"""
+
+from repro.serve.channel import Channel, Request
+from repro.serve.server import ClientSession, ServeCrashed, TxnServer
+
+__all__ = [
+    "Channel",
+    "ClientSession",
+    "Request",
+    "ServeCrashed",
+    "TxnServer",
+]

@@ -1,0 +1,251 @@
+"""The transaction server and its client-session helper.
+
+:class:`TxnServer` owns one RVM or RLVM library instance and consumes
+requests from a :class:`~repro.serve.channel.Channel`:
+
+* transactions are serialised — the libraries run one at a time, so a
+  ``begin`` arriving while another client's transaction is active is
+  parked and granted in FIFO order when the active one finishes;
+* with ``group_size == 1`` every commit flushes synchronously and is
+  acknowledged durable immediately;
+* with ``group_size > 1`` commits buffer (the libraries' no-flush
+  mode) and their acknowledgements are *withheld* until one library
+  flush makes the whole batch durable — triggered when the batch fills
+  or when the request queue drains (no point making later arrivals
+  wait for a batch that may never fill).  This is classic group
+  commit: the client's await returns only once its commit is stable;
+* commit latency — request receipt to durability acknowledgement, in
+  simulated cycles — lands in per-backend ``obs`` histograms
+  (``serve.commit_cycles`` and ``serve.commit_cycles.<backend>``);
+* an injected :class:`~repro.faults.plan.CrashPoint` mid-serve fails
+  every outstanding future with :class:`ServeCrashed`; the exception
+  keeps the crash so tests can recover from its durable snapshot and
+  compare against exactly the acknowledged commits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import LVMError
+from repro.faults.plan import CrashPoint
+from repro.obs import core as obscore
+from repro.rvm.rvm import RVM
+from repro.serve.channel import Channel, Request
+
+
+class ServeCrashed(LVMError):
+    """The server hit an injected crash; the operation was not served.
+
+    ``crash`` carries the :class:`CrashPoint` (durable snapshot,
+    replayable plan repr) for recovery checking.
+    """
+
+    def __init__(self, crash: CrashPoint) -> None:
+        super().__init__(f"server crashed: {crash}")
+        self.crash = crash
+
+
+class TxnServer:
+    """Serve begin/write/commit transactions against one library."""
+
+    def __init__(
+        self,
+        library,
+        group_size: int = 1,
+        seg_name: str = "db",
+        seg_bytes: int = 4096,
+    ) -> None:
+        self.lib = library
+        self.group_size = max(1, group_size)
+        self.seg_name = seg_name
+        self.channel = Channel()
+        self.base_va = library.map(seg_name, seg_bytes)
+        self._is_rvm = isinstance(library, RVM)
+        self._proc = library.proc
+        self._backend_name = getattr(library.disk, "name", "device")
+        #: client id currently holding the (single) active transaction
+        self._active_client: int | None = None
+        self._active_txn = None
+        self._parked: deque[Request] = deque()
+        #: buffered group-commit acks: (tid, future, start_cycle)
+        self._batch: list[tuple[int, asyncio.Future, int]] = []
+        #: tids acknowledged durable, in acknowledgement order
+        self.acked: list[int] = []
+        #: tids in commit-processing order (== WAL append order)
+        self.commit_order: list[int] = []
+        #: cycles from commit receipt to durability ack, per commit
+        self.commit_latencies: list[int] = []
+        self.crashed: CrashPoint | None = None
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    async def serve(self) -> None:
+        """Consume requests until a ``shutdown`` or an injected crash."""
+        while True:
+            try:
+                if (
+                    self._batch
+                    and self.channel.pending() == 0
+                    and self._active_txn is None
+                    and not self._parked
+                ):
+                    # Truly idle — no active transaction and no parked
+                    # begins means no commit is imminent: flush rather
+                    # than leave clients hanging for a batch that may
+                    # never fill.  (The queue alone often looks empty
+                    # between requests while clients are runnable, so
+                    # it is not a drain signal by itself.)
+                    self._flush_batch()
+                request = await self.channel.next_request()
+            except CrashPoint as crash:
+                self._on_crash(crash, None)
+                return
+            try:
+                if not self._dispatch(request):
+                    return
+            except CrashPoint as crash:
+                self._on_crash(crash, request)
+                return
+
+    def _dispatch(self, request: Request) -> bool:
+        """Serve one request; False ends the loop (shutdown)."""
+        op = request.op
+        if op == "begin":
+            if self._active_txn is not None:
+                self._parked.append(request)
+            else:
+                self._grant(request)
+        elif op == "write":
+            word, value = request.payload
+            vaddr = self.base_va + 4 * word
+            if self._is_rvm:
+                self._active_txn.set_range(vaddr, 4)
+            self._active_txn.write(vaddr, value)
+            request.future.set_result(None)
+        elif op == "commit":
+            self._commit(request)
+        elif op == "abort":
+            self._active_txn.abort()
+            self._finish_txn()
+            request.future.set_result(None)
+        elif op == "shutdown":
+            if self._batch:
+                self._flush_batch()
+            request.future.set_result(None)
+            return False
+        else:
+            request.future.set_exception(LVMError(f"unknown op {op!r}"))
+        return True
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def _grant(self, request: Request) -> None:
+        txn = self.lib.begin()
+        self._active_client = request.client
+        self._active_txn = txn
+        request.future.set_result(txn.tid)
+
+    def _finish_txn(self) -> None:
+        self._active_client = None
+        self._active_txn = None
+        if self._parked:
+            self._grant(self._parked.popleft())
+
+    def _commit(self, request: Request) -> None:
+        txn = self._active_txn
+        start_cycle = self._proc.now
+        self.commit_order.append(txn.tid)
+        if self.group_size == 1:
+            txn.commit(flush=True)
+            self._finish_txn()
+            self._ack(txn.tid, request.future, start_cycle)
+        else:
+            txn.commit(flush=False)
+            self._finish_txn()
+            self._batch.append((txn.tid, request.future, start_cycle))
+            if len(self._batch) >= self.group_size:
+                self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        """One library flush makes the whole batch durable; ack it.
+
+        The batch list is cleared only after the flush returns: a
+        crash mid-flush leaves the futures in ``_batch`` for
+        :meth:`_fail_outstanding` — those commits were never
+        acknowledged, so their clients must see the failure.
+        """
+        self.lib.flush()
+        batch, self._batch = self._batch, []
+        for tid, future, start_cycle in batch:
+            self._ack(tid, future, start_cycle)
+
+    def _ack(self, tid: int, future: asyncio.Future, start_cycle: int) -> None:
+        latency = self._proc.now - start_cycle
+        self.acked.append(tid)
+        self.commit_latencies.append(latency)
+        o = obscore._ACTIVE
+        if o is not None:
+            o.metrics.observe("serve.commit_cycles", latency)
+            o.metrics.observe(
+                f"serve.commit_cycles.{self._backend_name}", latency
+            )
+        future.set_result(latency)
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def _on_crash(self, crash: CrashPoint, request: Request | None) -> None:
+        self.crashed = crash
+        error = ServeCrashed(crash)
+        if request is not None and not request.future.done():
+            request.future.set_exception(error)
+        self._fail_outstanding(error)
+
+    def _fail_outstanding(self, error: "ServeCrashed") -> None:
+        """Fail every future a dead server can no longer serve."""
+        for _tid, future, _start in self._batch:
+            if not future.done():
+                future.set_exception(error)
+        self._batch = []
+        for request in self._parked:
+            if not request.future.done():
+                request.future.set_exception(error)
+        self._parked.clear()
+        # Later queued requests will never be consumed: fail them too so
+        # no client coroutine awaits forever.
+        while self.channel.pending():
+            request = self.channel._queue.get_nowait()
+            if not request.future.done():
+                request.future.set_exception(error)
+
+
+class ClientSession:
+    """One client's view: begin/write/commit over the channel."""
+
+    def __init__(self, server: TxnServer, client_id: int) -> None:
+        self._channel = server.channel
+        self.client_id = client_id
+
+    async def begin(self) -> int:
+        """Start a transaction; resolves with its tid when granted."""
+        return await self._channel.call("begin", self.client_id)
+
+    async def write(self, word: int, value: int) -> None:
+        """Write ``value`` to word index ``word`` of the served segment."""
+        await self._channel.call("write", self.client_id, word, value)
+
+    async def commit(self) -> int:
+        """Commit; resolves with the commit latency in cycles once the
+        transaction is durable (after the group flush when batching)."""
+        return await self._channel.call("commit", self.client_id)
+
+    async def abort(self) -> None:
+        await self._channel.call("abort", self.client_id)
+
+    async def shutdown(self) -> None:
+        """Ask the server to flush any open batch and stop."""
+        await self._channel.call("shutdown", self.client_id)

@@ -1,0 +1,160 @@
+"""Differential property tests across log backends.
+
+Backend choice changes *when* things happen — never *what* ends up
+durable.  The same seeded workload driven through every backend must
+recover byte-identical segment images and identical committed-tid
+sets; two backends differing only in latency parameters must agree on
+the cycle count bit-for-bit.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import BACKENDS, make_backend
+from repro.backends.ramdisk import (
+    DEFAULT_OP_OVERHEAD_CYCLES as RAM_OP_CYCLES,
+    DEFAULT_PER_BLOCK_CYCLES as RAM_BLOCK_CYCLES,
+    RamDisk,
+)
+from repro.backends.tmpfs import dram_tmpfs, nvram_tmpfs
+from repro.faults.checker import recover
+from repro.faults.plan import FaultPlan
+from repro.faults.sweep import DEFAULT_SCRIPT, SWEEP_DEVICE_BYTES, run_script
+from repro.rvm.rlvm import RLVM
+from repro.rvm.rvm import RVM
+
+#: Every sweepable device configuration: four devices, sync and group.
+ALL_DEVICE_CONFIGS = [
+    (name, gc) for name in sorted(BACKENDS) for gc in (False, True)
+]
+
+
+def _run(backend_cls, script, seed, device_factory):
+    result = run_script(
+        backend_cls, script, FaultPlan(seed=seed), device_factory=device_factory
+    )
+    assert result.crash is None
+    return result
+
+
+def _recovered(result):
+    return recover(result.end_snapshot)
+
+
+class TestBackendsAgreeOnDurableState:
+    @pytest.mark.parametrize("backend_cls", [RVM, RLVM], ids=["rvm", "rlvm"])
+    def test_fixed_script_recovers_identically_everywhere(self, backend_cls):
+        reference = None
+        for name, gc in ALL_DEVICE_CONFIGS:
+            result = _run(
+                backend_cls,
+                DEFAULT_SCRIPT,
+                seed=1995,
+                device_factory=lambda n=name, g=gc: make_backend(
+                    n, SWEEP_DEVICE_BYTES, group_commit=g
+                ),
+            )
+            rec = _recovered(result)
+            got = (rec.images, rec.committed_tids)
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference, f"{name} group_commit={gc} diverged"
+
+    def test_latency_twins_agree_on_cycles_bit_for_bit(self):
+        """Backends that differ only in latency *parameters* (not model
+        structure) must produce bit-identical cycle totals."""
+        for backend_cls in (RVM, RLVM):
+            ram = _run(
+                backend_cls,
+                DEFAULT_SCRIPT,
+                seed=1995,
+                device_factory=lambda: RamDisk(SWEEP_DEVICE_BYTES),
+            )
+            tmpfs_as_ram = _run(
+                backend_cls,
+                DEFAULT_SCRIPT,
+                seed=1995,
+                device_factory=lambda: dram_tmpfs(
+                    SWEEP_DEVICE_BYTES,
+                    op_overhead_cycles=RAM_OP_CYCLES,
+                    per_block_cycles=RAM_BLOCK_CYCLES,
+                ),
+            )
+            assert ram.final_cycle == tmpfs_as_ram.final_cycle
+            assert _recovered(ram).images == _recovered(tmpfs_as_ram).images
+
+    def test_nvram_with_zero_drain_is_dram(self):
+        dram = _run(
+            RVM,
+            DEFAULT_SCRIPT,
+            seed=1995,
+            device_factory=lambda: dram_tmpfs(SWEEP_DEVICE_BYTES),
+        )
+        nvram_no_drain = _run(
+            RVM,
+            DEFAULT_SCRIPT,
+            seed=1995,
+            device_factory=lambda: nvram_tmpfs(
+                SWEEP_DEVICE_BYTES, write_drain_per_block_cycles=0
+            ),
+        )
+        assert dram.final_cycle == nvram_no_drain.final_cycle
+
+    def test_slower_media_never_runs_faster(self):
+        """Sanity on the latency ordering end-to-end: the rotating disk
+        run takes strictly more cycles than the RAM-disk run."""
+        by_device = {
+            name: _run(
+                RVM,
+                DEFAULT_SCRIPT,
+                seed=1995,
+                device_factory=lambda n=name: make_backend(n, SWEEP_DEVICE_BYTES),
+            ).final_cycle
+            for name in BACKENDS
+        }
+        assert by_device["ram"] < by_device["dram_tmpfs"]
+        assert by_device["dram_tmpfs"] < by_device["nvram_tmpfs"]
+        assert by_device["nvram_tmpfs"] < by_device["disk"]
+
+
+# The randomized workload mirrors the crash sweep's script shape.
+_writes = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 2**32 - 1)),
+    min_size=1,
+    max_size=3,
+).map(tuple)
+_txn = st.tuples(
+    st.just("txn"), st.sampled_from(["commit", "abort", "noflush"]), _writes
+)
+_op = st.one_of(_txn, st.just(("flush",)), st.just(("truncate",)))
+_script = st.lists(_op, min_size=1, max_size=5).map(tuple)
+
+
+class TestRandomizedDifferential:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        script=_script,
+        backend=st.sampled_from(["rvm", "rlvm"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_every_backend_recovers_the_same_bytes(
+        self, script, backend, seed
+    ):
+        backend_cls = {"rvm": RVM, "rlvm": RLVM}[backend]
+        reference = None
+        for name, gc in ALL_DEVICE_CONFIGS:
+            result = _run(
+                backend_cls,
+                script,
+                seed,
+                device_factory=lambda n=name, g=gc: make_backend(
+                    n, SWEEP_DEVICE_BYTES, group_commit=g
+                ),
+            )
+            rec = _recovered(result)
+            got = (rec.images, rec.committed_tids, rec.valid_log_bytes)
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference, f"{name} group_commit={gc} diverged"

@@ -11,7 +11,8 @@ randomizes the workload script itself.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.faults.sweep import sweep
+from repro.backends import BACKENDS, make_backend
+from repro.faults.sweep import SWEEP_DEVICE_BYTES, sweep
 from repro.rvm.rlvm import RLVM
 from repro.rvm.rvm import RVM
 
@@ -35,6 +36,32 @@ class TestFixedSeedSweep:
         # >= 30 distinct injection points (site, nth), not just modes.
         assert len({(s.site, s.nth) for s in report.fired}) >= 30
         assert len(report.fired) >= 30
+
+    @pytest.mark.parametrize("device", sorted(BACKENDS))
+    def test_backend_matrix_every_device_is_acid_clean(self, device):
+        """Satellite matrix: each log device, synchronous and
+        group-committed, under both libraries — every reachable crash
+        point recovers clean, and the per-device total clears the
+        acceptance floor of 180 crash points."""
+        fired_points = 0
+        for backend_cls in (RVM, RLVM):
+            for group_commit in (False, True):
+                label = device + ("+group" if group_commit else "")
+                report = sweep(
+                    backend_cls,
+                    seed=1995,
+                    device_factory=lambda d=device, g=group_commit: make_backend(
+                        d, SWEEP_DEVICE_BYTES, group_commit=g
+                    ),
+                    device_label=label,
+                )
+                assert not report.failures, (label, report.failures)
+                assert not report.not_fired, (label, report.not_fired)
+                # The explicit flush/barrier calls put the backend
+                # family on every sweep path.
+                assert "backend" in report.families
+                fired_points += len(report.fired)
+        assert fired_points >= 180
 
     def test_sweep_with_write_reordering(self):
         """A two-deep unflushed device window: recovery stays atomic

@@ -31,6 +31,8 @@ TESTS_DIR = REPO_ROOT / "tests"
 #: sweep script on the RLVM backend (RVM covers a strict subset: it
 #: uses no hardware logger, so fifo.push / logger.dma never fire).
 RLVM_SWEEP_SITES = (
+    "backend.barrier",
+    "backend.flush",
     "fifo.push",
     "logger.dma",
     "ramdisk.write",

@@ -87,6 +87,27 @@ class TestWriteAheadLog:
         assert disk.write_ops == 1
         assert len(list(wal.entries())) == 3
 
+    def test_empty_group_append_is_a_no_op(self, machine, proc):
+        """Regression: an empty write group must not touch the disk,
+        charge cycles, or bump any metric — exactly like an empty
+        append_transactions call."""
+        from repro.obs import core as obscore
+        from repro.obs.core import Observability
+
+        disk = RamDisk(1 << 16)
+        wal = WriteAheadLog(disk)
+        with obscore.installed(Observability()) as obs:
+            before = obs.metrics.snapshot()
+            t0 = proc.now
+            wal.append_writes(proc.cpu, 5, [])
+            assert proc.now == t0
+            assert obs.metrics.snapshot() == before
+        assert disk.write_ops == 0
+        assert disk.bytes_written == 0
+        assert wal.appends == 0
+        assert wal.tail == 0
+        assert list(wal.entries()) == []
+
     def test_reset(self, machine, proc):
         wal = WriteAheadLog(RamDisk(1 << 16))
         wal.append_commit(proc.cpu, 1)
