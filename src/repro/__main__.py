@@ -8,9 +8,11 @@ Perfetto trace of a canned workload (see :mod:`repro.obs.cli`);
 ``python -m repro race`` replays canned workloads under the log-race
 sanitizer (see :mod:`repro.sanitize.cli`),
 ``python -m repro replay`` runs the checkpointed-replay smokes
-(see :mod:`repro.replay.cli`), and ``python -m repro serve`` drives
+(see :mod:`repro.replay.cli`), ``python -m repro serve`` drives
 concurrent asyncio clients against one recoverable machine over a
-chosen log backend (see :mod:`repro.serve.cli`).
+chosen log backend (see :mod:`repro.serve.cli`), and
+``python -m repro analyze`` runs the online log-stream analytics in
+``report`` or ``watch`` mode (see :mod:`repro.analytics.cli`).
 """
 
 import sys
@@ -78,6 +80,10 @@ def main(argv=None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analytics.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     return demo()
 
 

@@ -9,10 +9,10 @@ distances, working-set growth, and page-level spatial locality.
 
 from __future__ import annotations
 
-from collections import Counter, OrderedDict
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.hw.params import LINE_SIZE, PAGE_SIZE
+from repro.analytics.core import LocalityFold, WindowedWss
 from repro.hw.records import LogRecord
 
 
@@ -66,28 +66,21 @@ def reuse_distances(line_sequence: list[int]) -> list[int]:
 
 
 def analyse_locality(records: list[LogRecord]) -> LocalityReport:
-    """Compute locality metrics over a write-record sequence."""
-    lines = [r.addr // LINE_SIZE for r in records]
-    pages = {r.addr // PAGE_SIZE for r in records}
-    distances = reuse_distances(lines)
+    """Compute locality metrics over a write-record sequence.
 
-    histogram: Counter[int] = Counter()
-    for d in distances:
-        if d < 0:
-            histogram[-1] += 1
-        else:
-            bucket = 0
-            while (1 << (bucket + 1)) <= d + 1:
-                bucket += 1
-            histogram[bucket] += 1
-
-    hot = sum(1 for d in distances if 0 <= d < 8)
+    A fold of :class:`repro.analytics.core.LocalityFold` — the same
+    LRU-stack walk :func:`reuse_distances` performs, maintained
+    incrementally so the live stream tap can run it too.
+    """
+    fold = LocalityFold()
+    for record in records:
+        fold.fold(record)
     return LocalityReport(
-        accesses=len(records),
-        unique_lines=len(set(lines)),
-        unique_pages=len(pages),
-        reuse_histogram=dict(histogram),
-        hot_fraction=hot / len(records) if records else 0.0,
+        accesses=fold.accesses,
+        unique_lines=fold.unique_lines,
+        unique_pages=fold.unique_pages,
+        reuse_histogram=dict(fold.histogram),
+        hot_fraction=fold.hot_fraction,
     )
 
 
@@ -95,8 +88,7 @@ def working_set_curve(
     records: list[LogRecord], window: int = 64
 ) -> list[int]:
     """Unique pages touched per ``window`` consecutive writes."""
-    out = []
-    for start in range(0, len(records), window):
-        chunk = records[start : start + window]
-        out.append(len({r.addr // PAGE_SIZE for r in chunk}))
-    return out
+    wss = WindowedWss(window)
+    for record in records:
+        wss.fold(record)
+    return wss.curve()

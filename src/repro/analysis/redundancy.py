@@ -13,9 +13,9 @@ location's final value were kept.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 
+from repro.analytics.core import RedundancyFold
 from repro.core.log_segment import LogSegment
 from repro.hw.records import LogRecord
 
@@ -45,17 +45,21 @@ class RedundancyReport:
 
 
 def analyse(records: list[LogRecord] | LogSegment, top: int = 10) -> RedundancyReport:
-    """Analyse a log (or record list) for redundant writes."""
+    """Analyse a log (or record list) for redundant writes.
+
+    A fold of :class:`repro.analytics.core.RedundancyFold` — shared
+    with the live stream tap.
+    """
     if isinstance(records, LogSegment):
-        records = list(records.records())
-    counts: Counter[int] = Counter(r.addr for r in records)
-    total = len(records)
-    unique = len(counts)
+        records = records.records()
+    fold = RedundancyFold()
+    for record in records:
+        fold.fold(record)
     return RedundancyReport(
-        total_writes=total,
-        unique_locations=unique,
-        redundant_writes=total - unique,
-        hot_locations=counts.most_common(top),
+        total_writes=fold.total_writes,
+        unique_locations=fold.unique_locations,
+        redundant_writes=fold.redundant_writes,
+        hot_locations=fold.hot_locations(top),
     )
 
 

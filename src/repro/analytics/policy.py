@@ -1,0 +1,269 @@
+"""Log-driven policy: the two closed loops over the analytics stream.
+
+:class:`CheckpointTuner` solves the classical optimal checkpoint
+interval tradeoff for Time Warp state saving (Lin & Lazowska): a
+snapshot every ``n`` events costs ``snapshot_cost / n`` per event,
+while a rollback must re-apply on average ``n/2`` events' worth of log
+records, costing ``rollback_rate * n/2 * writes_per_event *
+apply_record_cost`` per event.  Differentiating gives::
+
+    n* = sqrt(2 * snapshot_cost / (rollback_rate * writes_per_event
+                                   * apply_record_cost))
+
+Both rates come from observation — rollbacks counted by the saver,
+re-dirty (writes per event) from a :class:`~repro.analytics.stream.LogTap`
+over the object's own write log — so the interval adapts as the
+workload moves between rollback storms and quiet compute phases.
+
+:class:`TruncationAdvisor` schedules RVM/RLVM log truncation from log
+growth versus the backend device's cost model: truncation pays a
+fixed barrier/read/reset overhead plus a per-block scan of the tail,
+so truncating too often wastes the overhead while waiting too long
+grows both the replay exposure after a crash and the risk of a forced
+(log-full) truncation at the worst time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analytics.core import GrowthForecast, RateEwma
+from repro.analytics import stream as anstream
+from repro.backends.base import BLOCK_BYTES
+
+
+class CheckpointTuner:
+    """Adaptive snapshot-interval selection for Time Warp state saving.
+
+    ``note_event``/``note_rollback`` feed per-event observations;
+    ``retune`` folds the window since the last call into rate EWMAs and
+    recomputes the clamped optimal interval.
+    """
+
+    def __init__(
+        self,
+        snapshot_cost: int,
+        apply_record_cost: int,
+        min_interval: int = 2,
+        max_interval: int = 512,
+        alpha: float = 0.3,
+        initial_interval: int | None = None,
+    ) -> None:
+        if snapshot_cost <= 0 or apply_record_cost <= 0:
+            raise ValueError("costs must be positive")
+        if not 1 <= min_interval <= max_interval:
+            raise ValueError("need 1 <= min_interval <= max_interval")
+        self.snapshot_cost = snapshot_cost
+        self.apply_record_cost = apply_record_cost
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.rollback_rate = RateEwma(alpha)
+        self.redirty_rate = RateEwma(alpha)
+        #: measured log records replayed per rollback, per unit of
+        #: interval — the closed-loop generalisation of the classical
+        #: ``w / 2`` replay-length assumption (see :meth:`retune`)
+        self.replay_per_interval = RateEwma(alpha)
+        if initial_interval is None:
+            initial_interval = max_interval
+        self.interval = max(min_interval, min(initial_interval, max_interval))
+        self.retunes = 0
+        self._events_in_window = 0
+        self._rollbacks_in_window = 0
+        self._records_at_retune = 0
+        self._replayed_at_retune = 0
+
+    def note_event(self) -> None:
+        self._events_in_window += 1
+
+    def note_rollback(self) -> None:
+        self._rollbacks_in_window += 1
+
+    def retune(self, records_seen: int, replayed_records: int | None = None) -> int:
+        """Fold the window since the last retune; returns the interval.
+
+        ``records_seen`` is the cumulative log-record count from the
+        tap — the delta against the previous call, divided by the
+        window's events, is the observed re-dirty rate (logged writes
+        per event).  ``replayed_records``, when the saver can report it,
+        is the cumulative roll-forward record count: the *measured* cost
+        of a rollback.  With snapshots every ``n`` events the classical
+        analysis assumes a rollback replays ``n/2 * w`` records; real
+        Time Warp runs blow past that (undone-future snapshots get
+        popped, re-executed events re-log), so we estimate the
+        proportionality ``k`` = records replayed per rollback per unit
+        of interval directly and minimise ``snapshot_cost / n + r * k *
+        n * apply_record_cost``, giving::
+
+            n* = sqrt(snapshot_cost / (r * k * apply_record_cost))
+
+        which reduces to the Lin-Lazowska form exactly when ``k`` falls
+        back to its ``w / 2`` prior.
+        """
+        events = self._events_in_window
+        if events > 0:
+            self.rollback_rate.update(self._rollbacks_in_window / events)
+            delta = records_seen - self._records_at_retune
+            if delta >= 0:
+                self.redirty_rate.update(delta / events)
+            if (
+                replayed_records is not None
+                and self._rollbacks_in_window > 0
+                and self.interval > 0
+            ):
+                replay_delta = replayed_records - self._replayed_at_retune
+                if replay_delta >= 0:
+                    self.replay_per_interval.update(
+                        replay_delta / self._rollbacks_in_window / self.interval
+                    )
+        self._records_at_retune = records_seen
+        if replayed_records is not None:
+            self._replayed_at_retune = replayed_records
+        self._events_in_window = 0
+        self._rollbacks_in_window = 0
+        self.retunes += 1
+
+        r = self.rollback_rate.value
+        w = self.redirty_rate.value
+        k = self.replay_per_interval.value
+        if k <= 0.0:
+            k = w / 2.0  # the classical replay-length prior
+        if r <= 0.0 or k <= 0.0:
+            # No rollbacks observed: snapshots are pure overhead, so
+            # stretch the interval out to its ceiling.
+            self.interval = self.max_interval
+            return self.interval
+        n_star = math.sqrt(
+            self.snapshot_cost / (r * k * self.apply_record_cost)
+        )
+        self.interval = max(
+            self.min_interval, min(int(round(n_star)), self.max_interval)
+        )
+        return self.interval
+
+
+class TruncationAdvisor:
+    """When should an RVM/RLVM library truncate its write-ahead log?
+
+    ``observe`` samples the WAL tail into a growth forecast;
+    :meth:`should_truncate` fires either on fill fraction (don't risk a
+    forced log-full truncation) or when the crash-replay exposure — the
+    cost of reading the whole retained tail back — outgrows a fraction
+    of the truncation cost itself, i.e. when truncation has become
+    cheap relative to what a crash would pay.
+    """
+
+    def __init__(
+        self,
+        fill_trigger: float = 0.5,
+        cost_ratio: float = 0.5,
+        alpha: float = 0.25,
+    ) -> None:
+        if not 0.0 < fill_trigger <= 1.0:
+            raise ValueError("fill_trigger must be in (0, 1]")
+        if cost_ratio <= 0.0:
+            raise ValueError("cost_ratio must be positive")
+        self.fill_trigger = fill_trigger
+        self.cost_ratio = cost_ratio
+        self.growth = GrowthForecast(alpha)
+        self.truncations_advised = 0
+        self._last_tail = 0
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, lib) -> None:
+        """Sample the library's WAL tail (call after commits/flushes)."""
+        tail = lib.wal.tail
+        delta = tail - self._last_tail
+        if delta < 0:
+            # A truncation reset the log under us; the new tail is all
+            # fresh growth.
+            delta = tail
+        if delta > 0:
+            self.growth.observe(delta, lib.proc.now)
+        self._last_tail = tail
+
+    def note_truncated(self, lib) -> None:
+        self.truncations_advised += 1
+        self._last_tail = lib.wal.tail
+
+    # ------------------------------------------------------------------
+    # The device cost model
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _device_costs(disk) -> tuple[int, int]:
+        """(op_overhead, per_block) for ``disk``, chasing group-commit
+        wrappers down to the physical device."""
+        device = disk
+        while True:
+            overhead = getattr(device, "op_overhead_cycles", None)
+            if overhead is not None:
+                return overhead, getattr(device, "per_block_cycles", 0)
+            inner = getattr(device, "inner", None)
+            if inner is None:
+                return 0, 0
+            device = inner
+
+    def estimate_truncate_cost(self, lib) -> int:
+        """Predicted device cost of truncating now, in cycles.
+
+        Truncation barriers the disk (flush), reads the tail back in
+        one I/O, writes the head marker, and flushes again — roughly
+        four op overheads plus one pass over the retained blocks.
+        """
+        overhead, per_block = self._device_costs(lib.disk)
+        blocks = -(-lib.wal.tail // BLOCK_BYTES) if lib.wal.tail else 0
+        return 4 * overhead + per_block * (blocks + 1)
+
+    def replay_exposure_cost(self, lib) -> int:
+        """Crash cost carried while the tail stays untruncated: one
+        read of the whole retained log at recovery time."""
+        overhead, per_block = self._device_costs(lib.disk)
+        blocks = -(-lib.wal.tail // BLOCK_BYTES) if lib.wal.tail else 0
+        return overhead + per_block * blocks
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
+    def fill_fraction(self, lib) -> float:
+        capacity = lib.wal.capacity or lib.disk.size
+        return lib.wal.tail / capacity if capacity else 0.0
+
+    def eta_to_fill(self, lib) -> float | None:
+        """Predicted ticks until the fill trigger, from observed growth."""
+        capacity = lib.wal.capacity or lib.disk.size
+        limit = int(capacity * self.fill_trigger)
+        remaining = limit - lib.wal.tail
+        if remaining <= 0:
+            return 0.0
+        rate = self.growth.bytes_per_tick.value
+        if rate <= 0.0:
+            return None
+        return remaining / rate
+
+    def should_truncate(self, lib) -> bool:
+        tail = lib.wal.tail
+        if tail == 0:
+            return False
+        if self.fill_fraction(lib) >= self.fill_trigger:
+            return True
+        return (
+            self.replay_exposure_cost(lib)
+            >= self.cost_ratio * self.estimate_truncate_cost(lib)
+        )
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def rebuild(cls, lib, **kwargs) -> "TruncationAdvisor":
+        """Rebuild an advisor after a crash from the durable WAL tail.
+
+        Advisor state is volatile; re-seeding from ``lib.wal.tail``
+        (post ``scan_recover``) restores the only hard state — the tail
+        baseline — while the growth EWMA re-primes on the next sample.
+        """
+        anstream._rebuild_site(cycle=lib.proc.now)
+        advisor = cls(**kwargs)
+        advisor._last_tail = lib.wal.tail
+        return advisor

@@ -1,0 +1,357 @@
+"""The streaming consumer framework: log taps behind one gate.
+
+A :class:`LogTap` follows one :class:`~repro.core.log_segment.LogSegment`
+by cursor, decoding only the tail appended since its last visit and
+feeding the :mod:`repro.analytics.core` folds.  All reads are *untimed
+functional reads* (``Segment.read_bytes``), so an attached tap is
+cycle- and log-record-identical to no tap by construction — the
+exactness test in ``tests/analytics`` holds this.
+
+The :class:`AnalyticsHub` is installed as the module-global
+``_ACTIVE`` and poked by the hardware logger after each drain with the
+same one-``None``-check gate the fault and observability layers use
+(lvm-san rule LVM004)::
+
+    h = anstream._ACTIVE
+    if h is not None:
+        h.notify(now)
+
+so the disabled cost is one global load and identity test per drain.
+The kernel auto-registers logs with the hub as regions bind
+(``Kernel.attach_region_log``) and reports rewinds so tap cursors
+never read a rolled-back tail as fresh data.
+
+Crash recovery: a tap holds only volatile state, all of it a pure
+function of the durable log — :func:`rebuild_tap` re-folds the
+retained records after a crash (fault site ``analytics.rebuild``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+
+from repro.errors import ConfigError
+from repro.faults import plan as faultplan
+from repro.obs import core as obscore
+from repro.hw.params import LOG_RECORD_SIZE, PAGE_SIZE
+from repro.hw.records import RECORD_STRUCT
+from repro.analytics.core import (
+    DEFAULT_HEAT_HALF_LIFE,
+    DEFAULT_WSS_WINDOW,
+    GrowthForecast,
+    PageHeat,
+    RateEwma,
+    StatsFold,
+    WindowedWss,
+    _np,
+)
+
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+
+
+class LogTap:
+    """Incremental consumer of one log segment's record stream.
+
+    The tap observes the *stream*: records that are later rewound away
+    by a rollback stay counted (they were real write traffic — exactly
+    what the checkpoint tuner's re-dirty estimate wants), and a cursor
+    clamp ensures re-appended records at reused offsets are read
+    afresh, never confused with the undone ones.
+    """
+
+    def __init__(
+        self,
+        log,
+        name: str = "log0",
+        window: int = DEFAULT_WSS_WINDOW,
+        half_life: int = DEFAULT_HEAT_HALF_LIFE,
+    ) -> None:
+        self.log = log
+        self.name = name
+        self.stats = StatsFold()
+        self.wss = WindowedWss(window)
+        self.heat = PageHeat(half_life)
+        self.write_rate = RateEwma()
+        self.forecast = GrowthForecast()
+        self.rewinds = 0
+        self._cursor = log.start_offset
+        # Normal 16-byte records pack densely (PAGE_SIZE is a record
+        # multiple, so none straddles a page); extended 24-byte logs pad
+        # at page boundaries and take the generic decode path.
+        self._fast = (
+            not log.extended_records and PAGE_SIZE % LOG_RECORD_SIZE == 0
+        )
+
+    def rewound(self, to_offset: int) -> None:
+        """The log's append point moved back to ``to_offset``."""
+        if to_offset < self._cursor:
+            self.rewinds += 1
+            self._cursor = to_offset
+
+    def advance(self) -> int:
+        """Fold every record appended since the last visit.
+
+        Returns the number of records consumed.  Purely functional —
+        no simulated cycles are charged and no machine state is
+        touched.
+        """
+        log = self.log
+        tail = log.append_offset
+        cursor = self._cursor
+        if tail < cursor:
+            # A rewind we were not told about; re-anchor at the new tail.
+            self.rewinds += 1
+            self._cursor = tail
+            return 0
+        start = log.start_offset
+        if cursor < start:
+            # Truncated under us: the reclaimed range is no longer part
+            # of the retained stream (same clamp records_with_offsets
+            # applies).  Taps attached at bind time consume ahead of
+            # any truncation, so this only affects late attachers.
+            cursor = start
+        if tail == cursor:
+            return 0
+        prev_last_ts = self.stats.last_timestamp
+        if self._fast and _np is not None:
+            # Column decode without per-record Python: a 16-byte record
+            # is four little-endian words (addr, value, size|flags<<16,
+            # timestamp), so strided views give whole columns at once
+            # and the folds see only per-page aggregates.
+            data = log.read_bytes(cursor, tail - cursor)
+            words = _np.frombuffer(data, dtype="<u4")
+            addrs = words[0::4]
+            stamps = words[3::4]
+            sizes = _np.frombuffer(data, dtype="<u2")[4::8]
+            pages = addrs >> _PAGE_SHIFT
+            uniq, counts = _np.unique(pages, return_counts=True)
+            page_counts = dict(zip(uniq.tolist(), counts.tolist()))
+            last_ts = int(stamps[-1])
+            self.stats.fold_page_counts(
+                page_counts,
+                len(addrs),
+                int(sizes.sum(dtype=_np.int64)),
+                int(stamps[0]),
+                last_ts,
+            )
+            self.wss.extend_pages_array(pages)
+            self.heat.touch_many(page_counts, last_ts)
+            consumed = len(addrs)
+        elif self._fast:
+            data = log.read_bytes(cursor, tail - cursor)
+            columns = list(zip(*RECORD_STRUCT.iter_unpack(data)))
+            addrs = columns[0]
+            pages = [a >> _PAGE_SHIFT for a in addrs]
+            stamps = columns[4]
+            last_ts = stamps[-1]
+            self.stats.fold_columns(pages, sum(columns[2]), stamps[0], last_ts)
+            self.wss.extend_pages(pages)
+            self.heat.touch_many(Counter(pages), last_ts)
+            consumed = len(addrs)
+        else:
+            # Heat is *advance-granular* on every path: the records of
+            # one advance are counted at the batch's last timestamp
+            # (matching the column paths above), with decay applied
+            # between advances.
+            consumed = 0
+            batch_pages: Counter[int] = Counter()
+            for _offset, record in log.records_with_offsets(start=cursor):
+                self.stats.fold(record)
+                self.wss.fold(record)
+                batch_pages[record.addr // PAGE_SIZE] += 1
+                consumed += 1
+            last_ts = self.stats.last_timestamp
+            if consumed:
+                self.heat.touch_many(batch_pages, last_ts)
+        self._cursor = tail
+        if consumed:
+            self.forecast.observe(consumed * log.record_size, last_ts)
+            if prev_last_ts is not None and last_ts > prev_last_ts:
+                self.write_rate.update(
+                    1000.0 * consumed / (last_ts - prev_last_ts)
+                )
+        return consumed
+
+    @property
+    def retained_bytes(self) -> int:
+        return self.log.append_offset - self.log.start_offset
+
+    def report(self, top: int = 8) -> dict:
+        """JSON-ready summary of everything the tap has observed."""
+        now_ts = self.stats.last_timestamp
+        return {
+            "name": self.name,
+            "stats": self.stats.as_dict(),
+            "wss_curve": self.wss.curve(),
+            "wss_latest": self.wss.latest,
+            "heat_top": [
+                {"page": page, "heat": round(heat, 3)}
+                for page, heat in self.heat.top(top, now_ts)
+            ],
+            "write_rate_per_1k_ts": round(self.write_rate.value, 3),
+            "log_bytes_retained": self.retained_bytes,
+            "log_bytes_per_tick": round(
+                self.forecast.bytes_per_tick.value, 6
+            ),
+            "rewinds": self.rewinds,
+        }
+
+
+class AnalyticsHub:
+    """All live taps plus their export to the observability layer."""
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WSS_WINDOW,
+        half_life: int = DEFAULT_HEAT_HALF_LIFE,
+    ) -> None:
+        self.window = window
+        self.half_life = half_life
+        self.taps: list[LogTap] = []
+        self._by_log: dict[int, LogTap] = {}
+        self.records_consumed = 0
+        #: optional callback ``fn(cycle, hub)`` run after any notify
+        #: that consumed records (the ``analyze watch`` printer).
+        self.on_sample = None
+
+    # ------------------------------------------------------------------
+    # Registration (kernel attach path + manual)
+    # ------------------------------------------------------------------
+    def watch(self, log, name: str | None = None) -> LogTap:
+        """Attach (or return the existing) tap for ``log``."""
+        tap = self._by_log.get(id(log))
+        if tap is None:
+            tap = LogTap(
+                log,
+                name or f"log{len(self.taps)}",
+                window=self.window,
+                half_life=self.half_life,
+            )
+            self.taps.append(tap)
+            self._by_log[id(log)] = tap
+        return tap
+
+    def tap_for(self, log) -> LogTap | None:
+        return self._by_log.get(id(log))
+
+    def log_rewound(self, log) -> None:
+        """Kernel hook: clamp the tap cursor before new appends reuse
+        the rewound offsets."""
+        tap = self._by_log.get(id(log))
+        if tap is not None:
+            tap.rewound(log.append_offset)
+
+    # ------------------------------------------------------------------
+    # The consumer side (poked by Logger.drain/flush)
+    # ------------------------------------------------------------------
+    def notify(self, now_cycle: int) -> int:
+        """Advance every tap; export and sample when anything was new."""
+        consumed = 0
+        for tap in self.taps:
+            consumed += tap.advance()
+        if consumed:
+            self.records_consumed += consumed
+            o = obscore._ACTIVE
+            if o is not None:
+                self._export(o, now_cycle)
+            callback = self.on_sample
+            if callback is not None:
+                callback(now_cycle, self)
+        return consumed
+
+    def _export(self, o, ts: int) -> None:
+        """Publish per-tap gauges and Perfetto counter tracks."""
+        metrics = o.metrics
+        for tap in self.taps:
+            prefix = f"analytics.{tap.name}"
+            metrics.set_gauge(f"{prefix}.records", tap.stats.record_count)
+            metrics.set_gauge(
+                f"{prefix}.pages_touched", tap.stats.pages_touched
+            )
+            metrics.set_gauge(f"{prefix}.wss", tap.wss.latest)
+            metrics.set_gauge(
+                f"{prefix}.write_rate_per_1k_ts", tap.write_rate.value
+            )
+            metrics.set_gauge(
+                f"{prefix}.log_bytes", tap.retained_bytes
+            )
+            o.counter_track("metrics", f"{prefix}.wss", ts, tap.wss.latest)
+            o.counter_track(
+                "metrics", f"{prefix}.records", ts, tap.stats.record_count
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, top: int = 8) -> dict:
+        return {
+            "records_consumed": self.records_consumed,
+            "taps": [tap.report(top) for tap in self.taps],
+        }
+
+
+# ----------------------------------------------------------------------
+# The installed hub (module-global; hot paths check ``is None``)
+# ----------------------------------------------------------------------
+_ACTIVE: AnalyticsHub | None = None
+
+
+def active() -> AnalyticsHub | None:
+    """The currently installed hub, or None."""
+    return _ACTIVE
+
+
+def install(hub: AnalyticsHub) -> AnalyticsHub:
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ConfigError("an AnalyticsHub is already installed")
+    _ACTIVE = hub
+    return hub
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def installed(hub: AnalyticsHub):
+    """Install ``hub`` for the duration of the block."""
+    install(hub)
+    try:
+        yield hub
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+def _rebuild_site(cycle: int | None = None) -> None:
+    """The one declaration of the ``analytics.rebuild`` fault site.
+
+    Analytics state is volatile by design; every rebuild path (tap
+    re-fold, advisor re-seed) funnels through here so a crash sweep can
+    interrupt recovery itself.
+    """
+    faultplan.hit("analytics.rebuild", cycle=cycle)
+
+
+def rebuild_tap(
+    log,
+    name: str = "rebuilt",
+    window: int = DEFAULT_WSS_WINDOW,
+    half_life: int = DEFAULT_HEAT_HALF_LIFE,
+    cycle: int | None = None,
+) -> LogTap:
+    """Rebuild a tap from the durable log after a crash.
+
+    Folds the retained records of ``log`` into a fresh :class:`LogTap`;
+    because tap state is a pure fold of the record stream, the result
+    equals a tap that had followed the retained stream live.
+    """
+    _rebuild_site(cycle=cycle)
+    tap = LogTap(log, name=name, window=window, half_life=half_life)
+    tap.advance()
+    return tap

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analytics import stream as anstream
 from repro.errors import LoggingError, UnsupportedOperationError
 from repro.hw.cpu import CPU
 from repro.hw.interrupts import Interrupt
@@ -215,6 +216,9 @@ class Kernel:
                 pte.logged = True
                 pte.log_index = region.log_index
                 self._load_logger_entries(region, pte)
+        h = anstream._ACTIVE
+        if h is not None:
+            h.watch(log)
 
     def detach_region_log(self, region: Region, cpu: CPU | None = None) -> None:
         """Deactivate logging for a region (dynamic disable, unbind,
@@ -291,6 +295,9 @@ class Kernel:
         addr = log.hw_append_paddr()
         if addr is not None:
             self.machine.logger.resume_log(index, addr)
+        h = anstream._ACTIVE
+        if h is not None:
+            h.log_rewound(log)
 
     def log_extended(self, log: LogSegment) -> None:
         """The user extended a log; resume it if it was absorbing.

@@ -29,6 +29,7 @@ from __future__ import annotations
 import enum
 from typing import Protocol
 
+from repro.analytics import stream as anstream
 from repro.faults import plan as faultplan
 from repro.obs import core as obscore
 from repro.obs.trace import TID_LOGGER
@@ -247,6 +248,9 @@ class Logger:
         if start + self.config.logger_service_cycles > now:
             return
         self._drain_fast(now)
+        h = anstream._ACTIVE
+        if h is not None:
+            h.notify(now)
 
     def flush(self) -> int:
         """Service every queued write regardless of time.
@@ -256,6 +260,9 @@ class Logger:
         """
         if self.write_fifo._entries:
             self._drain_fast(None)
+            h = anstream._ACTIVE
+            if h is not None:
+                h.notify(self._service_free)
         return self._service_free
 
     def _drain_fast(self, limit: int | None) -> None:

@@ -75,6 +75,13 @@ def main(argv=None) -> int:
         help="also write the metrics snapshot JSON here",
     )
     parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="dump the final MetricsRegistry snapshot (counters, gauges, "
+        "histograms) as JSON alongside the trace",
+    )
+    parser.add_argument(
         "--no-profile",
         action="store_true",
         help="skip the cycle profiler report",
@@ -109,6 +116,12 @@ def main(argv=None) -> int:
             json.dump(snap, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"metrics  : {args.metrics_out}")
+
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(obs.metrics.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"registry : {args.metrics_json}")
 
     if obs.profiler is not None:
         print()

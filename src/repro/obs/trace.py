@@ -275,8 +275,21 @@ def validate_trace(doc: dict) -> int:
             dur = ev.get("dur")
             if not isinstance(dur, int) or dur < 0:
                 problems.append(f"{where}: 'dur' must be a non-negative int")
-        if ph == "C" and not isinstance(ev.get("args"), dict):
-            problems.append(f"{where}: counter event needs dict 'args'")
+        if ph == "C":
+            cargs = ev.get("args")
+            if not isinstance(cargs, dict) or not cargs:
+                problems.append(
+                    f"{where}: counter event needs a non-empty dict 'args'"
+                )
+            else:
+                for series, value in cargs.items():
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        problems.append(
+                            f"{where}: counter series {series!r} must be "
+                            "numeric"
+                        )
         if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
             problems.append(f"{where}: instant scope must be t/p/g")
         key = (ev["pid"], ev.get("tid", 0))

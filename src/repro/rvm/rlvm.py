@@ -154,6 +154,9 @@ class RLVM:
         self._pending: list[tuple[int, list]] = []
         self.committed_count = 0
         self.aborted_count = 0
+        #: optional :class:`repro.analytics.policy.TruncationAdvisor`
+        #: driving :meth:`maybe_truncate`
+        self.truncation_advisor = None
 
     # ------------------------------------------------------------------
     # Mapping
@@ -388,6 +391,23 @@ class RLVM:
                 proc.cpu.index,
                 args={"entries_applied": len(entries)},
             )
+
+    def maybe_truncate(self) -> bool:
+        """Truncate if the installed advisor says to; returns True if so.
+
+        Same duck-typed protocol as :meth:`RVM.maybe_truncate` — the
+        advisor only touches ``proc``/``disk``/``wal``, which the two
+        libraries share.
+        """
+        advisor = self.truncation_advisor
+        if advisor is None:
+            return False
+        advisor.observe(self)
+        if not advisor.should_truncate(self):
+            return False
+        self.truncate()
+        advisor.note_truncated(self)
+        return True
 
     def crash_and_recover(self, proc: Process | None = None) -> "RLVM":
         """Crash (lose volatile state) and recover from disk + WAL."""

@@ -317,6 +317,9 @@ class RVM:
         self._pending: list[tuple[int, list]] = []
         self.committed_count = 0
         self.aborted_count = 0
+        #: optional :class:`repro.analytics.policy.TruncationAdvisor`
+        #: driving :meth:`maybe_truncate`
+        self.truncation_advisor = None
 
     # ------------------------------------------------------------------
     # Mapping
@@ -447,6 +450,23 @@ class RVM:
                 proc.cpu.index,
                 args={"entries_applied": len(entries)},
             )
+
+    def maybe_truncate(self) -> bool:
+        """Truncate if the installed advisor says to; returns True if so.
+
+        Call after commits/flushes (the transaction server does): the
+        advisor samples log growth on every call and fires when the fill
+        fraction or the crash-replay exposure crosses its thresholds.
+        """
+        advisor = self.truncation_advisor
+        if advisor is None:
+            return False
+        advisor.observe(self)
+        if not advisor.should_truncate(self):
+            return False
+        self.truncate()
+        advisor.note_truncated(self)
+        return True
 
     # ------------------------------------------------------------------
     # Crash / recovery

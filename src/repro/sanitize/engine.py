@@ -30,7 +30,17 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 #: Top-level ``repro`` subpackages whose code runs in the simulated
 #: cycle domain and must therefore be deterministic and integer-timed.
 CYCLE_DOMAIN_PACKAGES = frozenset(
-    {"hw", "core", "rvm", "backends", "timewarp", "obs", "faults", "replay"}
+    {
+        "hw",
+        "core",
+        "rvm",
+        "backends",
+        "timewarp",
+        "obs",
+        "faults",
+        "replay",
+        "analytics",
+    }
 )
 
 #: Matches a suppression comment; group 1 is the optional rule list.

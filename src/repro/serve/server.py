@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 
+from repro.analytics.core import PageTouchAttribution
 from repro.errors import LVMError
 from repro.faults.plan import CrashPoint
 from repro.obs import core as obscore
@@ -78,6 +79,9 @@ class TxnServer:
         #: cycles from commit receipt to durability ack, per commit
         self.commit_latencies: list[int] = []
         self.crashed: CrashPoint | None = None
+        #: per-client page-touch attribution (the request dispatcher is
+        #: where client identity is known, so WSS is accounted here)
+        self.page_attribution = PageTouchAttribution()
 
     # ------------------------------------------------------------------
     # Serving loop
@@ -124,6 +128,7 @@ class TxnServer:
             if self._is_rvm:
                 self._active_txn.set_range(vaddr, 4)
             self._active_txn.write(vaddr, value)
+            self.page_attribution.touch(request.client, vaddr, 4)
             request.future.set_result(None)
         elif op == "commit":
             self._commit(request)
@@ -134,6 +139,10 @@ class TxnServer:
         elif op == "shutdown":
             if self._batch:
                 self._flush_batch()
+            o = obscore._ACTIVE
+            if o is not None:
+                for client, wss in self.client_wss().items():
+                    o.metrics.set_gauge(f"serve.client_wss.{client}", wss)
             request.future.set_result(None)
             return False
         else:
@@ -163,6 +172,7 @@ class TxnServer:
             txn.commit(flush=True)
             self._finish_txn()
             self._ack(txn.tid, request.future, start_cycle)
+            self._maybe_truncate()
         else:
             txn.commit(flush=False)
             self._finish_txn()
@@ -182,6 +192,21 @@ class TxnServer:
         batch, self._batch = self._batch, []
         for tid, future, start_cycle in batch:
             self._ack(tid, future, start_cycle)
+        self._maybe_truncate()
+
+    def client_wss(self) -> dict:
+        """Unique pages each client has written (working-set footprint)."""
+        return {
+            client: self.page_attribution.wss(client)
+            for client in self.page_attribution.keys()
+        }
+
+    def _maybe_truncate(self) -> None:
+        """Let the library's truncation advisor run after durability
+        points (no-op unless one is installed)."""
+        maybe = getattr(self.lib, "maybe_truncate", None)
+        if maybe is not None:
+            maybe()
 
     def _ack(self, tid: int, future: asyncio.Future, start_cycle: int) -> None:
         latency = self._proc.now - start_cycle

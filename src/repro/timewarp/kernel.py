@@ -23,7 +23,13 @@ from repro.sanitize import race as racesan
 from repro.hw.params import MachineConfig
 from repro.timewarp.event import Event, Message
 from repro.timewarp.scheduler import Scheduler
-from repro.timewarp.state_saving import CopyStateSaver, LVMStateSaver, StateSaver
+from repro.timewarp.state_saving import (
+    AdaptiveLVMSaver,
+    CheckpointedLVMSaver,
+    CopyStateSaver,
+    LVMStateSaver,
+    StateSaver,
+)
 from repro.timewarp.workloads import SimulationModel, event_hash
 
 #: CPU cost of handing a message to the transport.
@@ -55,11 +61,16 @@ class TimeWarpResult:
 
 
 def make_saver(kind: str) -> StateSaver:
-    """Build a state saver by name ('copy' or 'lvm')."""
+    """Build a state saver by name ('copy', 'lvm', 'lvm-snap', or
+    'lvm-adaptive')."""
     if kind == "copy":
         return CopyStateSaver()
     if kind == "lvm":
         return LVMStateSaver()
+    if kind == "lvm-snap":
+        return CheckpointedLVMSaver()
+    if kind == "lvm-adaptive":
+        return AdaptiveLVMSaver()
     raise SimulationError(f"unknown state saver {kind!r}")
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analytics.policy import CheckpointTuner
+from repro.analytics.stream import LogTap
 from repro.errors import RollbackError
 from repro.faults import plan as faultplan
 from repro.core.log_reader import RegionLogView
@@ -175,6 +177,9 @@ class LVMStateSaver(StateSaver):
         self.checkpoint_time = 0
         self._last_marker = None
         self._view: RegionLogView | None = None
+        #: log records re-applied across all rollback roll-forwards —
+        #: the observable the adaptive checkpoint tuner feeds on
+        self.rollforward_records = 0
 
     def _setup_region(self) -> None:
         machine = self.scheduler.machine
@@ -223,6 +228,7 @@ class LVMStateSaver(StateSaver):
             faultplan.hit("timewarp.rollback.restore", cycle=proc.now)
             self.working.write(seg_offset, record.value, record.size)
             proc.compute(APPLY_RECORD_CYCLES)
+            self.rollforward_records += 1
 
         # 3. Discard the undone suffix of the log.
         self.log.rewind(cut_offset)
@@ -277,3 +283,200 @@ class LVMStateSaver(StateSaver):
     def _to_offset(self, record) -> int:
         """Translate a log record to a working-segment offset."""
         return self._view.offset_of(record)
+
+
+class CheckpointedLVMSaver(LVMStateSaver):
+    """LVM state saving plus periodic full-state snapshots.
+
+    The plain LVM saver rolls forward from the *GVT checkpoint* on
+    every rollback, replaying all log records between GVT and the
+    rollback target.  This saver additionally snapshots the working
+    segment every ``interval`` events (the classical checkpoint-interval
+    knob): rollback restores the latest snapshot at or below the target
+    time and replays only the records since — the sqrt tradeoff between
+    snapshot cost and expected roll-forward length that
+    :class:`~repro.analytics.policy.CheckpointTuner` optimises.
+
+    ``interval=0`` disables snapshots entirely (degenerates to
+    :class:`LVMStateSaver`).
+    """
+
+    name = "lvm-snap"
+
+    def __init__(self, interval: int = 32, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.interval = interval
+        #: (virtual time, log append offset, working-segment image).
+        #: Each snapshot was taken *before* the marker for its virtual
+        #: time was logged, so roll-forward from its offset first sees
+        #: that marker.
+        self._snapshots: list[tuple[int, int, bytes]] = []
+        self._events_since_snapshot = 0
+        self.snapshot_count = 0
+
+    def current_interval(self) -> int:
+        """Snapshot every this many events (adaptive subclass overrides)."""
+        return self.interval
+
+    def on_lvt_change(self, vt: int) -> None:
+        interval = self.current_interval() if self.interval else 0
+        if (
+            interval > 0
+            and vt != self._last_marker
+            and self._events_since_snapshot >= interval
+        ):
+            # Snapshot before the new marker is logged: the image is the
+            # state before any event at >= vt, and the marker for vt
+            # lands at exactly the recorded log offset.
+            self._take_snapshot(vt)
+        super().on_lvt_change(vt)
+
+    def before_event(self, vt: int, local_index: int) -> None:
+        self._events_since_snapshot += 1
+
+    def _take_snapshot(self, vt: int) -> None:
+        scheduler = self.scheduler
+        proc = scheduler.proc
+        scheduler.machine.sync(proc.cpu)  # in-flight records must land
+        image = self.working.read_bytes(0, self.working.size)
+        self._snapshots.append((vt, self.log.append_offset, image))
+        self.snapshot_count += 1
+        self.state_bytes_saved += len(image)
+        proc.compute(
+            bcopy_cost_cycles(proc.machine.config, len(image))
+            + SAVE_BOOKKEEPING_CYCLES
+        )
+        self._events_since_snapshot = 0
+
+    def rollback(self, vt: int) -> None:
+        if vt < self.checkpoint_time:
+            raise RollbackError(
+                f"cannot roll back to {vt}: checkpoint is at "
+                f"{self.checkpoint_time} (rollback before GVT is never "
+                "needed, section 2.4)"
+            )
+        # Snapshots after the target are of undone futures; drop them.
+        snapshots = self._snapshots
+        while snapshots and snapshots[-1][0] > vt:
+            snapshots.pop()
+        if not snapshots or snapshots[-1][1] < self.log.start_offset:
+            # No usable snapshot (or CULT truncated past it): the plain
+            # reset-deferred-copy + full roll-forward path.  The
+            # events-since-snapshot counter deliberately keeps running —
+            # it measures staleness of snapshot coverage, and resetting
+            # it here would starve rollback-heavy phases of snapshots
+            # forever once the inter-rollback gap drops below the
+            # interval.
+            super().rollback(vt)
+            return
+        self._events_since_snapshot = 0
+        self.rollback_count += 1
+        scheduler = self.scheduler
+        proc = scheduler.proc
+        scheduler.machine.sync(proc.cpu)
+
+        # 1. Restore the snapshot image.
+        snap_vt, snap_offset, image = snapshots[-1]
+        self.working.write_bytes(0, image)
+        proc.compute(bcopy_cost_cycles(proc.machine.config, len(image)))
+
+        # 2. Roll forward only the records since the snapshot.
+        cut_offset = self.log.append_offset
+        for offset, record in self.log.records_with_offsets(start=snap_offset):
+            seg_offset = self._to_offset(record)
+            if seg_offset < MARKER_BYTES:
+                if record.value >= vt:
+                    cut_offset = offset
+                    break
+                continue
+            faultplan.hit("timewarp.rollback.restore", cycle=proc.now)
+            self.working.write(seg_offset, record.value, record.size)
+            proc.compute(APPLY_RECORD_CYCLES)
+            self.rollforward_records += 1
+
+        # 3. Discard the undone suffix of the log.
+        self.log.rewind(cut_offset)
+        self._last_marker = None
+
+    def advance_checkpoint(self, gvt: int, charge: bool | None = None) -> None:
+        super().advance_checkpoint(gvt, charge)
+        # Fossil-collect snapshots rollback can never use again.
+        self._snapshots = [
+            snap
+            for snap in self._snapshots
+            if snap[0] >= self.checkpoint_time
+            and snap[1] >= self.log.start_offset
+        ]
+
+
+class AdaptiveLVMSaver(CheckpointedLVMSaver):
+    """Snapshotting saver whose interval is tuned from the log stream.
+
+    A private :class:`~repro.analytics.stream.LogTap` over the saver's
+    own write log supplies the observed re-dirty rate (logged writes
+    per event) and the scheduler's rollbacks supply the rollback rate;
+    every ``tune_every`` events a
+    :class:`~repro.analytics.policy.CheckpointTuner` recomputes the
+    optimal snapshot interval.  Tap reads are untimed functional reads,
+    so *observing* is free — only the chosen actions (snapshots) are
+    charged, and the simulation stays cycle-identical for a fixed
+    decision sequence.
+    """
+
+    name = "lvm-adaptive"
+
+    def __init__(
+        self,
+        tune_every: int = 32,
+        min_interval: int = 2,
+        max_interval: int = 512,
+        initial_interval: int = 16,
+        alpha: float = 0.3,
+        **kwargs,
+    ) -> None:
+        super().__init__(interval=initial_interval, **kwargs)
+        self.tune_every = tune_every
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.alpha = alpha
+        self.tuner: CheckpointTuner | None = None
+        self._tap: LogTap | None = None
+        self._events_until_tune = tune_every
+
+    def _after_bind(self) -> None:
+        config = self.scheduler.machine.config
+        snapshot_cost = (
+            bcopy_cost_cycles(config, self.working.size)
+            + SAVE_BOOKKEEPING_CYCLES
+        )
+        self.tuner = CheckpointTuner(
+            snapshot_cost,
+            APPLY_RECORD_CYCLES,
+            min_interval=self.min_interval,
+            max_interval=self.max_interval,
+            alpha=self.alpha,
+            initial_interval=self.interval,
+        )
+        self._tap = LogTap(self.log, name=f"{self.name}-tap")
+
+    def current_interval(self) -> int:
+        return self.tuner.interval
+
+    def before_event(self, vt: int, local_index: int) -> None:
+        super().before_event(vt, local_index)
+        self.tuner.note_event()
+        self._events_until_tune -= 1
+        if self._events_until_tune <= 0:
+            self._events_until_tune = self.tune_every
+            self._tap.advance()
+            self.tuner.retune(
+                self._tap.stats.record_count,
+                replayed_records=self.rollforward_records,
+            )
+
+    def rollback(self, vt: int) -> None:
+        self.tuner.note_rollback()
+        super().rollback(vt)
+        # The rewind moved the append point back; clamp the tap cursor
+        # so re-appended records at reused offsets are read afresh.
+        self._tap.rewound(self.log.append_offset)

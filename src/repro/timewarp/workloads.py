@@ -115,6 +115,68 @@ class SyntheticModel:
 
 
 @dataclass
+class PhasedModel:
+    """A workload alternating rollback storms with quiet compute phases.
+
+    During a *storm* (the first ``storm_len`` virtual-time units of
+    every ``period``), events are cheap but write-heavy and bounce to
+    the next object with tiny delays — on a partitioned run that
+    pattern makes cross-scheduler stragglers and rollbacks constant,
+    and every rollback replays a fat slice of log, so small checkpoint
+    intervals win.  During the *quiet* remainder, events write little
+    and stay within their own partition with longer delays — no
+    rollbacks, so checkpoints are pure overhead and long intervals win.
+    No fixed interval is right for both phases, which is what the
+    adaptive tuner exploits.
+    """
+
+    c_storm: int = 60
+    c_quiet: int = 200
+    w_storm: int = 32
+    w_quiet: int = 2
+    s: int = 2048
+    num_objects: int = 16
+    n_partitions: int = 2
+    period: int = 1000
+    storm_len: int = 80
+    max_delay_storm: int = 2
+    max_delay_quiet: int = 8
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.s < 4 * max(self.w_storm, self.w_quiet):
+            raise ValueError("object too small for the requested writes")
+        self.object_size = self.s
+
+    def in_storm(self, vt: int) -> bool:
+        return (vt % self.period) < self.storm_len
+
+    def initial_events(self) -> list[tuple[int, int, int]]:
+        return [(1, obj, obj) for obj in range(self.num_objects)]
+
+    def handle_event(self, ctx: ModelContext, obj: int, payload: int) -> None:
+        storm = self.in_storm(ctx.now)
+        c = self.c_storm if storm else self.c_quiet
+        w = self.w_storm if storm else self.w_quiet
+        ctx.compute(c)
+        stride = max(4, (self.s // w) & ~3)
+        h = event_hash(self.seed, obj, ctx.now, payload)
+        for j in range(w):
+            offset = (j * stride) % (self.s - 3) & ~3
+            ctx.write_state(obj, offset, (h + j) & 0xFFFFFFFF)
+        if storm:
+            # Cross-partition ping with minimal delay: the receiver has
+            # usually optimistically run ahead, so this straggles.
+            dest = (obj + 1) % self.num_objects
+            delay = 1 + event_hash(h, 2) % self.max_delay_storm
+        else:
+            # Stay on the home partition with relaxed timing.
+            dest = (obj + self.n_partitions) % self.num_objects
+            delay = 1 + event_hash(h, 3) % self.max_delay_quiet
+        ctx.schedule(dest, delay, payload=h & 0xFFFF)
+
+
+@dataclass
 class PholdModel:
     """PHOLD: each event bounces to a random object, counting hops.
 

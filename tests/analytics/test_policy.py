@@ -1,0 +1,243 @@
+"""Unit tests for the two log-driven policy loops.
+
+CheckpointTuner: the closed-loop interval ``n* = sqrt(S / (r * k * A))``
+with ``k`` measured from actual roll-forward record counts, falling
+back to the classical Lin-Lazowska ``w / 2`` replay-length prior.
+
+TruncationAdvisor: log-growth forecasting against the backend device's
+truncation cost model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analytics.policy import CheckpointTuner, TruncationAdvisor
+from repro.backends.base import BLOCK_BYTES
+
+
+def feed(tuner, events, rollbacks):
+    for _ in range(events):
+        tuner.note_event()
+    for _ in range(rollbacks):
+        tuner.note_rollback()
+
+
+class TestCheckpointTuner:
+    def make(self, **kwargs):
+        defaults = dict(
+            snapshot_cost=1000,
+            apply_record_cost=10,
+            min_interval=2,
+            max_interval=512,
+            alpha=1.0,  # EWMA == last sample: exact arithmetic below
+            initial_interval=16,
+        )
+        defaults.update(kwargs)
+        return CheckpointTuner(**defaults)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointTuner(0, 10)
+        with pytest.raises(ValueError):
+            CheckpointTuner(100, 0)
+        with pytest.raises(ValueError):
+            CheckpointTuner(100, 10, min_interval=8, max_interval=4)
+
+    def test_initial_interval_is_clamped(self):
+        assert self.make(initial_interval=10_000).interval == 512
+        assert self.make(initial_interval=1).interval == 2
+        assert CheckpointTuner(100, 10).interval == 512  # default: max
+
+    def test_prior_path_reduces_to_lin_lazowska(self):
+        tuner = self.make()
+        feed(tuner, events=10, rollbacks=2)
+        interval = tuner.retune(records_seen=40)  # w = 4 writes/event
+        r, w = 2 / 10, 40 / 10
+        classical = math.sqrt(
+            2 * 1000 / (r * w * 10)
+        )  # sqrt(2S / (r w A))
+        assert interval == int(round(classical)) == 16
+        assert tuner.rollback_rate.value == r
+        assert tuner.redirty_rate.value == w
+
+    def test_measured_replay_overrides_the_prior(self):
+        tuner = self.make()
+        feed(tuner, events=10, rollbacks=2)
+        tuner.retune(records_seen=40, replayed_records=0)
+        assert tuner.interval == 16
+        # Real roll-forwards replay far more than n/2 * w records
+        # (undone-future snapshots pop, re-executed events re-log):
+        # 2 rollbacks at interval 16 replayed 640 records -> k = 20.
+        feed(tuner, events=10, rollbacks=2)
+        interval = tuner.retune(records_seen=80, replayed_records=640)
+        assert tuner.replay_per_interval.value == 640 / 2 / 16
+        assert interval == int(round(math.sqrt(1000 / (0.2 * 20.0 * 10)))) == 5
+
+    def test_no_rollbacks_stretches_to_the_ceiling(self):
+        tuner = self.make()
+        feed(tuner, events=10, rollbacks=0)
+        assert tuner.retune(records_seen=40) == 512
+        # And with rollbacks but no logged writes at all, the replay
+        # term is unknown: same answer.
+        tuner = self.make()
+        feed(tuner, events=10, rollbacks=5)
+        assert tuner.retune(records_seen=0) == 512
+
+    def test_interval_is_clamped_both_ways(self):
+        storm = self.make(snapshot_cost=1)
+        feed(storm, events=4, rollbacks=4)
+        assert storm.retune(records_seen=400) == 2  # n* << min
+        calm = self.make(snapshot_cost=10**9)
+        feed(calm, events=100, rollbacks=1)
+        assert calm.retune(records_seen=100) == 512  # n* >> max
+
+    def test_empty_window_retune_keeps_rates(self):
+        tuner = self.make()
+        feed(tuner, events=10, rollbacks=2)
+        tuner.retune(records_seen=40)
+        before = (tuner.rollback_rate.value, tuner.redirty_rate.value)
+        interval = tuner.retune(records_seen=40)  # no events since
+        assert (tuner.rollback_rate.value, tuner.redirty_rate.value) == before
+        assert interval == tuner.interval
+        assert tuner.retunes == 2
+
+
+class FakeWal:
+    def __init__(self, tail=0, capacity=0):
+        self.tail = tail
+        self.capacity = capacity
+
+
+class FakeDisk:
+    def __init__(self, op_overhead_cycles=1000, per_block_cycles=50, size=1 << 20):
+        self.op_overhead_cycles = op_overhead_cycles
+        self.per_block_cycles = per_block_cycles
+        self.size = size
+
+
+class FakeProc:
+    def __init__(self):
+        self.now = 0
+
+
+class FakeLib:
+    def __init__(self, disk=None, capacity=1 << 20):
+        self.wal = FakeWal(capacity=capacity)
+        self.disk = disk if disk is not None else FakeDisk()
+        self.proc = FakeProc()
+
+
+class TestTruncationAdvisor:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TruncationAdvisor(fill_trigger=0.0)
+        with pytest.raises(ValueError):
+            TruncationAdvisor(fill_trigger=1.5)
+        with pytest.raises(ValueError):
+            TruncationAdvisor(cost_ratio=0.0)
+
+    def test_device_cost_model(self):
+        lib = FakeLib()
+        advisor = TruncationAdvisor()
+        assert advisor.estimate_truncate_cost(lib) == 4 * 1000 + 50 * 1
+        lib.wal.tail = 3 * BLOCK_BYTES
+        assert advisor.estimate_truncate_cost(lib) == 4 * 1000 + 50 * 4
+        assert advisor.replay_exposure_cost(lib) == 1000 + 50 * 3
+        lib.wal.tail = 3 * BLOCK_BYTES + 1  # partial block rounds up
+        assert advisor.replay_exposure_cost(lib) == 1000 + 50 * 4
+
+    def test_cost_model_chases_group_commit_wrappers(self):
+        class Wrapper:
+            def __init__(self, inner):
+                self.inner = inner
+
+        lib = FakeLib()
+        lib.disk = Wrapper(Wrapper(FakeDisk(op_overhead_cycles=7,
+                                            per_block_cycles=3)))
+        advisor = TruncationAdvisor()
+        lib.wal.tail = BLOCK_BYTES
+        assert advisor.estimate_truncate_cost(lib) == 4 * 7 + 3 * 2
+
+        lib.disk = object()  # no cost model anywhere: free device
+        assert advisor.estimate_truncate_cost(lib) == 0
+
+    def test_empty_log_never_truncates(self):
+        advisor = TruncationAdvisor()
+        assert not advisor.should_truncate(FakeLib())
+
+    def test_fill_trigger_fires(self):
+        lib = FakeLib(capacity=1000)
+        advisor = TruncationAdvisor(fill_trigger=0.5, cost_ratio=1e9)
+        lib.wal.tail = 499
+        assert not advisor.should_truncate(lib)
+        lib.wal.tail = 500
+        assert advisor.should_truncate(lib)
+
+    def test_replay_exposure_fires_when_tail_outgrows_overhead(self):
+        # op overhead dominates while the tail is short; per-block scan
+        # cost makes replay exposure approach the truncate cost as the
+        # tail grows, crossing cost_ratio * truncate_cost.
+        lib = FakeLib(disk=FakeDisk(op_overhead_cycles=10_000,
+                                    per_block_cycles=100))
+        advisor = TruncationAdvisor(fill_trigger=1.0, cost_ratio=0.5)
+        lib.wal.tail = BLOCK_BYTES
+        assert not advisor.should_truncate(lib)
+        lib.wal.tail = 400 * BLOCK_BYTES
+        # replay = 10_000 + 40_000 >= 0.5 * (40_000 + 40_100)
+        assert advisor.should_truncate(lib)
+
+    def test_growth_forecast_and_eta(self):
+        lib = FakeLib(capacity=10_000)
+        advisor = TruncationAdvisor(fill_trigger=0.5, alpha=1.0)
+        assert advisor.eta_to_fill(lib) is None  # no growth observed
+        for step in range(1, 5):
+            lib.wal.tail = step * 100
+            lib.proc.now = step * 1000
+            advisor.observe(lib)
+        # 100 bytes per 1000 ticks -> 0.1 bytes/tick; 4600 to trigger.
+        rate = advisor.growth.bytes_per_tick.value
+        assert rate == pytest.approx(0.1)
+        assert advisor.eta_to_fill(lib) == pytest.approx((5000 - 400) / rate)
+
+    def test_observe_survives_a_truncation_reset(self):
+        lib = FakeLib()
+        advisor = TruncationAdvisor()
+        lib.wal.tail = 500
+        lib.proc.now = 100
+        advisor.observe(lib)
+        lib.wal.tail = 64  # truncated under us, then regrew
+        lib.proc.now = 200
+        advisor.observe(lib)
+        assert advisor.growth.total_bytes == 500 + 64
+        assert advisor._last_tail == 64
+
+    def test_rebuild_reseeds_from_the_durable_tail(self):
+        lib = FakeLib()
+        lib.wal.tail = 777
+        lib.proc.now = 42
+        advisor = TruncationAdvisor.rebuild(lib, fill_trigger=0.25)
+        assert advisor._last_tail == 777
+        assert advisor.fill_trigger == 0.25
+        assert advisor.growth.total_bytes == 0  # EWMA re-primes fresh
+
+    def test_drives_real_rvm_truncation(self, machine, proc):
+        from repro.rvm.rvm import RVM
+
+        lib = RVM(proc)
+        base = lib.map("bank", 8 * 1024)
+        lib.truncation_advisor = TruncationAdvisor(
+            fill_trigger=1.0, cost_ratio=1e-9
+        )
+        assert not lib.maybe_truncate()  # nothing logged yet
+        txn = lib.begin()
+        txn.set_range(base, 16)
+        txn.write(base, 0xDEAD)
+        txn.commit(flush=True)
+        assert lib.wal.tail > 0
+        assert lib.maybe_truncate()
+        assert lib.wal.tail == 0
+        assert lib.truncation_advisor.truncations_advised == 1
+        assert not lib.maybe_truncate()  # empty again

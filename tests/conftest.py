@@ -44,6 +44,15 @@ def _no_leaked_observability():
 
 
 @pytest.fixture(autouse=True)
+def _no_leaked_analytics_hub():
+    """And for an AnalyticsHub left installed by a failing test."""
+    yield
+    from repro.analytics import stream as anstream
+
+    anstream.uninstall()
+
+
+@pytest.fixture(autouse=True)
 def _lvm_san(request):
     """Under ``--lvm-san``, run the test inside a LogRaceDetector.
 

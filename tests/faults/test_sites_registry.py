@@ -125,6 +125,21 @@ class TestEverySiteIsExercised:
         assert plan.counts["replay.checkpoint"] >= 1
         assert plan.counts["replay.restore"] == 1
 
+    def test_analytics_rebuild_reached(self, machine, proc):
+        from repro.analytics.stream import rebuild_tap
+
+        from conftest import make_logged_region
+
+        _region, log, va = make_logged_region(machine)
+        for i in range(8):
+            proc.write(va + 4 * i, i)
+        machine.quiesce()
+        plan = FaultPlan(seed=0)
+        with faultplan.installed(plan):
+            tap = rebuild_tap(log, cycle=machine.clock.now)
+        assert plan.counts["analytics.rebuild"] == 1
+        assert tap.stats.record_count == 8
+
     def test_fifo_overflow_reached(self):
         from repro.hw.fifo import HardwareFifo, PushResult
 
@@ -142,6 +157,7 @@ class TestEverySiteIsExercised:
             "fifo.overflow",
             "replay.checkpoint",
             "replay.restore",
+            "analytics.rebuild",
         }
         assert exercised == set(ALL_SITES), (
             "registry and exercise tests drifted apart: "
