@@ -1,0 +1,104 @@
+"""Causal request tracing on the 16-client serve run.
+
+One fully instrumented serve run (tracer + causal tracker + flight
+recorder) against a bare baseline: the trace must validate with every
+request's flow chain intact, per-stage cycle attribution must sum
+exactly to each request's end-to-end span, and the instrumented run
+must stay cycle- and WAL-identical to the bare one.  The stage
+breakdown and wall costs go to ``BENCH_causal_trace.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import pytest
+
+from conftest import print_header, write_bench_json
+from repro.obs.cli import run_traced_serve
+from repro.obs.trace import validate_trace
+from repro.serve.cli import run_serve
+
+RESULT_FILE = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_causal_trace.json"
+)
+
+WORKLOAD = dict(clients=16, txns=8, writes=4, seed=1995)
+
+
+@pytest.mark.benchmark(group="causal_trace")
+def test_causal_trace_serve_run(benchmark):
+    def run():
+        t0 = time.perf_counter()
+        bare = run_serve(**WORKLOAD)
+        bare_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        obs, tracker, traced = run_traced_serve(**WORKLOAD)
+        traced_wall = time.perf_counter() - t0
+        return bare, bare_wall, obs, tracker, traced, traced_wall
+
+    bare, bare_wall, obs, tracker, traced, traced_wall = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Tracing is free in the simulated domain: identical machine time,
+    # identical acks, identical WAL contents.
+    assert traced["machine"].time() == bare["machine"].time()
+    assert traced["server"].acked == bare["server"].acked
+    assert [(e.kind, e.tid) for e in traced["library"].wal.entries()] == [
+        (e.kind, e.tid) for e in bare["library"].wal.entries()
+    ]
+
+    # The trace is schema-valid, flows and all.
+    doc = obs.tracer.to_json()
+    n_events = validate_trace(doc)
+    flow_events = sum(1 for ev in doc["traceEvents"] if ev["ph"] in "stf")
+    assert flow_events > 0
+
+    # Exact stage accounting for every completed request.
+    expected = WORKLOAD["clients"] * WORKLOAD["txns"]
+    commits = [ctx for ctx in tracker.completed if ctx.op == "commit"]
+    assert len(commits) == expected
+    for ctx in tracker.completed:
+        assert sum(ctx.stages.values()) == ctx.ack_cycle - ctx.submit_cycle
+
+    stage_totals: dict[str, int] = {}
+    grand = 0
+    for ctx in tracker.completed:
+        grand += ctx.total
+        for stage, cycles in ctx.stages.items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + cycles
+
+    print_header(
+        "Causal request tracing: 16-client serve run",
+        "simulator engineering (not a paper figure)",
+    )
+    print(f"  requests traced: {len(tracker.completed)} "
+          f"({len(commits)} commits), {n_events} trace events "
+          f"({flow_events} flow)")
+    print(f"  bare wall      : {bare_wall * 1e3:9.2f} ms")
+    print(f"  traced wall    : {traced_wall * 1e3:9.2f} ms")
+    for stage, cycles in sorted(stage_totals.items(), key=lambda kv: -kv[1]):
+        print(f"  {stage:<18}: {cycles:>12} cycles "
+              f"({cycles / grand:6.1%} of request time)")
+
+    write_bench_json(
+        RESULT_FILE,
+        "causal_trace",
+        {
+            "workload": dict(WORKLOAD),
+            "bare_seconds": bare_wall,
+            "traced_seconds": traced_wall,
+            "requests_traced": len(tracker.completed),
+            "commits_traced": len(commits),
+            "trace_events": n_events,
+            "flow_events": flow_events,
+            "stage_cycles": stage_totals,
+            "request_cycles_total": grand,
+            "cycles": traced["machine"].time(),
+            "cycle_exact": True,
+            "stage_sum_exact": True,
+        },
+        machine=traced["machine"],
+    )

@@ -227,3 +227,126 @@ def test_analytics_attached_overhead_within_noise(benchmark):
         f"analytics-attached run {ratio:.3f}x over disabled baseline "
         f"(ceiling {ceiling:.3f}x, noise {noise:.3%})"
     )
+
+
+#: The flight recorder's hard budget: always-on recording may cost at
+#: most 2% of a serve run's wall clock.
+FLIGHT_RATIO_FLOOR = 1.02
+
+FLIGHT_RESULT_FILE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "BENCH_flight_overhead.json"
+)
+
+#: Serve workload for the recorder guard: big enough to spend real wall
+#: time in the instrumented paths (WAL appends, device writes, acks).
+FLIGHT_WORKLOAD = dict(clients=16, txns=8, writes=4, seed=1995)
+
+
+def _wal_digest(library):
+    return [(e.kind, e.tid) for e in library.wal.entries()]
+
+
+@pytest.mark.benchmark(group="obs_overhead")
+def test_flight_recorder_overhead_within_budget(benchmark):
+    from repro.obs import flight as obsflight
+    from repro.obs.flight import FlightRecorder
+    from repro.serve.cli import run_serve
+
+    def bare_run():
+        t0 = time.perf_counter()
+        result = run_serve(**FLIGHT_WORKLOAD)
+        return time.perf_counter() - t0, result
+
+    def recorded_run():
+        recorder = FlightRecorder()
+        with obsflight.installed(recorder):
+            t0 = time.perf_counter()
+            result = run_serve(**FLIGHT_WORKLOAD)
+            wall = time.perf_counter() - t0
+        return wall, result, recorder
+
+    def run():
+        recorded_run()  # warm pass
+        bare, recorded = [], []
+        for _ in range(SAMPLE_PAIRS):
+            bare.append(bare_run())
+            recorded.append(recorded_run())
+        # The recording cost in isolation, where scheduler jitter
+        # cannot reach: the per-event cost of ring appends times the
+        # number of events a run actually records.
+        recorder = FlightRecorder()
+        n = 20_000
+        t0 = time.perf_counter()
+        for i in range(n):
+            recorder.record(i, "device.write", "ram", 64)
+        per_record = (time.perf_counter() - t0) / n
+        return bare, recorded, per_record
+
+    bare, recorded, per_record = benchmark.pedantic(run, rounds=1, iterations=1)
+    _, result_bare = bare[0]
+    _, result_rec, recorder = recorded[0]
+
+    # A recorded run must be indistinguishable in the simulation: same
+    # machine time, same acks, same WAL records.
+    assert result_rec["machine"].time() == result_bare["machine"].time()
+    assert result_rec["server"].acked == result_bare["server"].acked
+    assert _wal_digest(result_rec["library"]) == _wal_digest(
+        result_bare["library"]
+    )
+    assert recorder.seen > 0  # it really was recording
+
+    bare_walls = [wall for wall, _ in bare]
+    rec_walls = [wall for wall, _, _ in recorded]
+    base = min(bare_walls)
+    noise = (max(bare_walls) - base) / base
+    ratio = min(rec_walls) / base
+    ceiling = max(1.0 + NOISE_MULTIPLE * noise, FLIGHT_RATIO_FLOOR)
+    record_fraction = recorder.seen * per_record / base
+
+    print_header(
+        "Flight-recorder overhead: 16-client serve run, recorder on",
+        "simulator engineering (not a paper figure)",
+    )
+    print(f"  bare runs      : "
+          + ", ".join(f"{w * 1e3:.2f}" for w in bare_walls) + " ms")
+    print(f"  recorded runs  : "
+          + ", ".join(f"{w * 1e3:.2f}" for w in rec_walls) + " ms")
+    print(f"  noise estimate : {100 * noise:9.2f} %")
+    print(f"  recorded ratio : {ratio:9.3f}x (ceiling {ceiling:.3f}x)")
+    print(f"  pure ring cost : {per_record * 1e9:9.1f} ns/event x "
+          f"{recorder.seen} events "
+          f"({100 * record_fraction:.2f}% of the run, budget "
+          f"{100 * (FLIGHT_RATIO_FLOOR - 1):.0f}%)")
+
+    write_bench_json(
+        FLIGHT_RESULT_FILE,
+        "flight_overhead",
+        {
+            "workload": dict(FLIGHT_WORKLOAD),
+            "bare_seconds": bare_walls,
+            "recorded_seconds": rec_walls,
+            "per_record_seconds": per_record,
+            "events_recorded": recorder.seen,
+            "record_fraction": record_fraction,
+            "noise_fraction": noise,
+            "recorded_over_bare": ratio,
+            "ceiling": ceiling,
+            "cycles": result_rec["machine"].time(),
+            "cycle_exact": True,
+            "log_records_identical": True,
+        },
+        machine=result_rec["machine"],
+    )
+
+    # The ring appends themselves must fit the 2% budget, measured in
+    # isolation.
+    assert record_fraction <= FLIGHT_RATIO_FLOOR - 1.0, (
+        f"flight recording costs {record_fraction:.2%} of the bare run "
+        f"(budget {FLIGHT_RATIO_FLOOR - 1.0:.0%})"
+    )
+    # And the end-to-end recorded run must sit inside budget + noise.
+    assert ratio <= ceiling, (
+        f"recorder-on run {ratio:.3f}x over bare baseline "
+        f"(ceiling {ceiling:.3f}x, noise {noise:.3%})"
+    )

@@ -12,7 +12,9 @@ sanitizer (see :mod:`repro.sanitize.cli`),
 concurrent asyncio clients against one recoverable machine over a
 chosen log backend (see :mod:`repro.serve.cli`), and
 ``python -m repro analyze`` runs the online log-stream analytics in
-``report`` or ``watch`` mode (see :mod:`repro.analytics.cli`).
+``report`` or ``watch`` mode (see :mod:`repro.analytics.cli`), and
+``python -m repro obs postmortem`` loads a crash-forensics bundle
+(see :mod:`repro.obs.postmortem`).
 """
 
 import sys
@@ -84,6 +86,10 @@ def main(argv=None) -> int:
         from repro.analytics.cli import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
     return demo()
 
 

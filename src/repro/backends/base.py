@@ -38,7 +38,9 @@ from __future__ import annotations
 from repro.errors import AddressError
 from repro.faults import plan as faultplan
 from repro.hw.cpu import CPU
+from repro.obs import causal
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 
 #: Transfer block size for cost accounting.
 BLOCK_BYTES = 256
@@ -128,10 +130,19 @@ class LogDevice:
             fp.disk_write(self, cpu, offset, data)
         o = obscore._ACTIVE
         start_cycle = cpu.now if o is not None else 0
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.flow_step(cpu.now, cpu.index)
+            ca.device_enter(cpu.now)
         self._data[offset : offset + len(data)] = data
         self.write_ops += 1
         self.bytes_written += len(data)
         cpu.compute(self._write_cost(offset, len(data)))
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "device.write", self.name, len(data))
         if o is not None:
             # After the data lands: a CrashPoint in the fault hook must
             # not leave a span for an I/O that never happened.
@@ -177,8 +188,16 @@ class LogDevice:
     # ------------------------------------------------------------------
     def flush(self, cpu: CPU) -> None:
         """Make buffered appends durable (no-op on synchronous devices)."""
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.stage_enter("barrier", cpu.now)
         flush_point(cpu)
         self.flush_ops += 1
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "device.flush", self.name, 0)
         o = obscore._ACTIVE
         if o is not None:
             o.metrics.inc("rvm.disk.flushes")
@@ -191,8 +210,16 @@ class LogDevice:
         scans the log back and resets the head.
         """
         self.flush(cpu)
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.stage_enter("barrier", cpu.now)
         barrier_point(self, cpu)
         self.barrier_ops += 1
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "device.barrier", self.name, 0)
         o = obscore._ACTIVE
         if o is not None:
             o.metrics.inc("rvm.disk.barriers")

@@ -37,7 +37,9 @@ from __future__ import annotations
 from repro.backends.base import LogDevice, barrier_point, flush_point
 from repro.errors import AddressError, ConfigError
 from repro.hw.cpu import CPU
+from repro.obs import causal
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 
 #: Buffer-management cost per buffered append (list insertion + copy —
 #: no kernel crossing, no device).
@@ -123,11 +125,20 @@ class GroupCommit:
         """Buffer an append; durable only after the next flush."""
         if offset < 0 or offset + len(data) > self.size:
             raise AddressError(f"{self.name} device write out of range")
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.flow_step(cpu.now, cpu.index)
+            ca.device_enter(cpu.now)
         blocks = LogDevice._blocks(len(data))
         cpu.compute(self.buffer_op_cycles + blocks * self.buffer_per_block_cycles)
         self._buffer(offset, data)
         self.write_ops += 1
         self.bytes_written += len(data)
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "device.buffer", self.name, len(data))
         o = obscore._ACTIVE
         if o is not None:
             o.metrics.inc("rvm.disk.buffered_writes")
@@ -149,11 +160,21 @@ class GroupCommit:
         The ``backend.flush`` site fires before any run is written, so
         a crash there loses the entire unacknowledged batch.
         """
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.stage_enter("barrier", cpu.now)
         flush_point(cpu)
         self.flush_ops += 1
         runs, self._pending = self._pending, []
         for offset, data in runs:
+            # The inner write's own hook nests a "device" stage inside
+            # this "barrier" stage, attributing the medium time exactly.
             self.inner.write(cpu, offset, bytes(data))
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "device.flush", self.name, len(runs))
         o = obscore._ACTIVE
         if o is not None:
             o.metrics.inc("rvm.disk.flushes")
@@ -163,8 +184,16 @@ class GroupCommit:
     def barrier(self, cpu: CPU) -> None:
         """Flush, then stabilise the inner device's reorder window."""
         self.flush(cpu)
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.stage_enter("barrier", cpu.now)
         barrier_point(self.inner, cpu)
         self.barrier_ops += 1
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "device.barrier", self.name, 0)
         o = obscore._ACTIVE
         if o is not None:
             o.metrics.inc("rvm.disk.barriers")

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigError
+from repro.obs import flight as obsflight
 
 #: Site hit once per durable RAM disk write (supports modes
 #: ``before`` / ``torn`` / ``after``).
@@ -59,6 +60,9 @@ class CrashPoint(Exception):
         metrics: metrics snapshot at the crash cycle when an
             :mod:`repro.obs` Observability was installed, else None —
             the machine's counters as of the instant the power failed.
+        flight: the tail of the :mod:`repro.obs.flight` recorder ring
+            (cycle-stamped ``(cycle, kind, a, b)`` events leading up to
+            the crash) when one was installed, else None.
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class CrashPoint(Exception):
         snapshot=None,
         plan_repr: str = "",
         metrics=None,
+        flight=None,
     ):
         super().__init__(f"injected crash at site {site!r}, hit #{seq}")
         self.site = site
@@ -75,6 +80,7 @@ class CrashPoint(Exception):
         self.snapshot = snapshot
         self.plan_repr = plan_repr
         self.metrics = metrics
+        self.flight = flight
 
 
 @dataclass(frozen=True)
@@ -211,6 +217,9 @@ class FaultPlan:
         payload).
         """
         n = self._note(site)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cycle if cycle is not None else 0, "fault.hit", site, n)
         if partial is not None:
             self.torn_capable.add(site)
         if self.fired:
@@ -341,8 +350,16 @@ class FaultPlan:
         # module is imported by hw/core modules obs itself instruments.
         from repro.obs import core as obscore
 
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(0, "fault.crash", site, n)
         raise CrashPoint(
-            site, n, snapshot, repr(self), obscore.metrics_snapshot_if_active()
+            site,
+            n,
+            snapshot,
+            repr(self),
+            obscore.metrics_snapshot_if_active(),
+            obsflight.tail_if_active(),
         )
 
 

@@ -32,6 +32,7 @@ from typing import Protocol
 from repro.analytics import stream as anstream
 from repro.faults import plan as faultplan
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 from repro.obs.trace import TID_LOGGER
 from repro.hw.bus import BusWrite, SystemBus
 from repro.hw.clock import Clock
@@ -408,6 +409,9 @@ class Logger:
         faultplan.hit("logger.overload", cycle=now)
         self.stats.overload_events += 1
         drain_complete = self.flush()
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(now, "logger.overload", drain_complete, 0)
         o = obscore._ACTIVE
         if o is not None:
             o.metrics.inc("hw.logger.overload_drains")

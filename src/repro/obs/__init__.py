@@ -15,10 +15,19 @@ All three hang off one :class:`Observability` object installed as a
 module global (the ``faults/`` pattern): uninstrumented hot paths pay
 exactly one ``is None`` check.  See :mod:`repro.obs.core`.
 
-The CLI entry point is ``python -m repro trace <workload>``
-(:mod:`repro.obs.cli`).
+Two further instruments share the same gate discipline under their own
+module globals: :class:`CausalTracker` (:mod:`repro.obs.causal`) —
+per-request trace contexts, Perfetto flow events, and critical-path
+stage attribution for the serving front-end — and
+:class:`FlightRecorder` (:mod:`repro.obs.flight`) — an always-on
+bounded ring of recent events captured into every crash point and
+packaged by :mod:`repro.obs.postmortem`.
+
+The CLI entry points are ``python -m repro trace <workload>`` and
+``python -m repro obs postmortem`` (:mod:`repro.obs.cli`).
 """
 
+from repro.obs.causal import CausalTracker, TraceContext
 from repro.obs.core import (
     Observability,
     active,
@@ -28,17 +37,21 @@ from repro.obs.core import (
     trace_detail_active,
     uninstall,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import CycleProfiler
 from repro.obs.trace import Tracer, TraceFormatError, validate_trace
 
 __all__ = [
+    "CausalTracker",
     "Counter",
     "CycleProfiler",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "TraceContext",
     "TraceFormatError",
     "Tracer",
     "active",

@@ -84,6 +84,21 @@ class Observability:
         if tracer is not None and cat in tracer.categories:
             tracer.instant(cat, name, ts, tid, args)
 
+    def flow_start(self, cat, name, ts, tid=0, flow_id=0) -> None:
+        tracer = self.tracer
+        if tracer is not None and cat in tracer.categories:
+            tracer.flow_start(cat, name, ts, tid, flow_id)
+
+    def flow_step(self, cat, name, ts, tid=0, flow_id=0) -> None:
+        tracer = self.tracer
+        if tracer is not None and cat in tracer.categories:
+            tracer.flow_step(cat, name, ts, tid, flow_id)
+
+    def flow_end(self, cat, name, ts, tid=0, flow_id=0) -> None:
+        tracer = self.tracer
+        if tracer is not None and cat in tracer.categories:
+            tracer.flow_end(cat, name, ts, tid, flow_id)
+
     def counter_track(self, cat, name, ts, value) -> None:
         tracer = self.tracer
         if tracer is not None and cat in tracer.categories:

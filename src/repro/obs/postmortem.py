@@ -1,0 +1,186 @@
+"""Postmortem bundles: everything needed to debug a crash after the fact.
+
+A bundle is one JSON document written at the moment a serve run dies on
+an injected :class:`~repro.faults.plan.CrashPoint`, collecting the
+forensic record the crash leaves behind:
+
+* ``crash`` — site, hit sequence, and the replayable ``FaultPlan``
+  repr (paste into :func:`repro.replay.crashpoint.replay_to_crash`);
+* ``workload`` — the serve parameters (device, backend, group size,
+  clients, txns, writes, seed) so ``python -m repro replay crash
+  --bundle`` can re-drive the identical run;
+* ``flight`` — the flight-recorder ring tail: the last few thousand
+  cycle-stamped events leading up to the crash;
+* ``metrics`` — the obs metrics snapshot at the crash cycle;
+* ``open_spans`` — per-thread stacks of trace spans still open when
+  the power failed (from :meth:`Tracer.open_spans`, captured before
+  ``finalize`` closes them);
+* ``inflight`` — the request descriptors off :class:`ServeCrashed`
+  (rid, client, op, last completed stage);
+* ``acked`` — transaction ids acknowledged durable before the crash
+  (the recovery contract: exactly these must survive);
+* ``digests`` — SHA-256 of the durable disk bytes and of each segment
+  image in the crash snapshot, so a replayed crash can be checked
+  byte-identical without shipping the bytes themselves.
+
+``python -m repro obs postmortem BUNDLE`` loads and pretty-prints one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ConfigError
+
+BUNDLE_KIND = "lvm-postmortem"
+BUNDLE_VERSION = 1
+
+#: How many flight-recorder events the human summary shows.
+SUMMARY_TAIL = 12
+
+
+def snapshot_digests(snapshot) -> dict:
+    """SHA-256 digests of a DurableSnapshot's disk bytes and images."""
+    if snapshot is None:
+        return {}
+    digests: dict[str, Any] = {
+        "disk_sha256": hashlib.sha256(snapshot.disk_bytes).hexdigest(),
+        "images_sha256": {
+            image.name: hashlib.sha256(image.data).hexdigest()
+            for image in snapshot.images
+        },
+    }
+    return digests
+
+
+def build_bundle(
+    crash,
+    workload: dict | None = None,
+    flight: list | None = None,
+    metrics: dict | None = None,
+    open_spans: dict | None = None,
+    inflight: list | None = None,
+    acked: list | None = None,
+) -> dict:
+    """Assemble a bundle from a :class:`CrashPoint` and serve-side state.
+
+    ``flight`` and ``metrics`` default to what the crash itself captured.
+    """
+    if flight is None:
+        flight = getattr(crash, "flight", None)
+    if metrics is None:
+        metrics = getattr(crash, "metrics", None)
+    return {
+        "kind": BUNDLE_KIND,
+        "version": BUNDLE_VERSION,
+        "crash": {
+            "site": crash.site,
+            "seq": crash.seq,
+            "plan_repr": crash.plan_repr,
+        },
+        "workload": workload or {},
+        "flight": [list(event) for event in (flight or [])],
+        "metrics": metrics,
+        "open_spans": {
+            str(tid): list(stack) for tid, stack in (open_spans or {}).items()
+        },
+        "inflight": list(inflight or []),
+        "acked": list(acked or []),
+        "digests": snapshot_digests(getattr(crash, "snapshot", None)),
+    }
+
+
+def write_bundle(path, bundle: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(bundle, fh, indent=1)
+        fh.write("\n")
+
+
+def load_bundle(path) -> dict:
+    """Load and schema-check a bundle written by :func:`write_bundle`."""
+    with open(path) as fh:
+        bundle = json.load(fh)
+    if not isinstance(bundle, dict) or bundle.get("kind") != BUNDLE_KIND:
+        raise ConfigError(f"{path}: not a {BUNDLE_KIND} bundle")
+    if bundle.get("version") != BUNDLE_VERSION:
+        raise ConfigError(
+            f"{path}: bundle version {bundle.get('version')!r} "
+            f"(this reader understands {BUNDLE_VERSION})"
+        )
+    crash = bundle.get("crash")
+    if not isinstance(crash, dict) or "site" not in crash or "seq" not in crash:
+        raise ConfigError(f"{path}: bundle has no usable crash record")
+    return bundle
+
+
+def summarize(bundle: dict) -> str:
+    """The human-facing report ``python -m repro obs postmortem`` prints."""
+    crash = bundle["crash"]
+    lines = [
+        f"crash: site {crash['site']!r}, hit #{crash['seq']}",
+        f"plan:  {crash.get('plan_repr') or '(not recorded)'}",
+    ]
+    workload = bundle.get("workload") or {}
+    if workload:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(workload.items()))
+        lines.append(f"workload: {params}")
+    acked = bundle.get("acked") or []
+    lines.append(f"acked durable before the crash: {len(acked)} txn(s)")
+    inflight = bundle.get("inflight") or []
+    if inflight:
+        lines.append(f"in flight ({len(inflight)} request(s)):")
+        for req in inflight:
+            lines.append(
+                f"  rid {req.get('rid')} client {req.get('client')} "
+                f"op {req.get('op')!r} last stage {req.get('last_stage')!r}"
+            )
+    else:
+        lines.append("in flight: none recorded")
+    open_spans = bundle.get("open_spans") or {}
+    if open_spans:
+        lines.append("spans open at the crash:")
+        for tid, stack in sorted(open_spans.items(), key=lambda kv: int(kv[0])):
+            lines.append(f"  tid {tid}: {' > '.join(stack)}")
+    flight = bundle.get("flight") or []
+    if flight:
+        lines.append(
+            f"flight recorder: {len(flight)} event(s) retained; last "
+            f"{min(SUMMARY_TAIL, len(flight))}:"
+        )
+        for cycle, kind, a, b in flight[-SUMMARY_TAIL:]:
+            lines.append(f"  [{cycle:>12}] {kind:<18} {a!r} {b!r}")
+    else:
+        lines.append("flight recorder: no events (recorder not installed)")
+    digests = bundle.get("digests") or {}
+    if digests:
+        lines.append(f"durable disk sha256: {digests.get('disk_sha256')}")
+        for name, digest in sorted((digests.get("images_sha256") or {}).items()):
+            lines.append(f"  image {name!r}: {digest}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs postmortem",
+        description="Load and summarize a crash postmortem bundle.",
+    )
+    parser.add_argument("bundle", help="path to a postmortem .json bundle")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw bundle JSON instead of the summary",
+    )
+    args = parser.parse_args(argv)
+    bundle = load_bundle(args.bundle)
+    if args.json:
+        print(json.dumps(bundle, indent=1))
+    else:
+        print(summarize(bundle))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -12,6 +12,11 @@ Event phases used:
 * ``B``/``E`` — nested spans opened/closed by ``Observability`` (e.g.
   an RVM commit wrapping its WAL appends wrapping their disk writes).
 * ``i`` — instant (logging faults, overload interrupts).
+* ``s``/``t``/``f`` — flow events: arrows linking a client request
+  span to the WAL-append and device-flush spans it caused (see
+  :mod:`repro.obs.causal`).  All three share an ``id`` (the request
+  id); ``t``/``f`` carry ``"bp": "e"`` so they bind to the enclosing
+  slice.
 * ``C`` — counter track (FIFO depth, GVT, registry counters).
 * ``M`` — metadata (process/thread names).
 
@@ -37,6 +42,8 @@ if TYPE_CHECKING:  # pragma: no cover
 TID_LOGGER = 100
 TID_BUS = 101
 TID_DISK = 102
+#: Serving clients trace as tid ``TID_CLIENT_BASE + client_id``.
+TID_CLIENT_BASE = 200
 
 _TID_NAMES = {TID_LOGGER: "logger", TID_BUS: "bus", TID_DISK: "ramdisk"}
 
@@ -44,10 +51,21 @@ _TID_NAMES = {TID_LOGGER: "logger", TID_BUS: "bus", TID_DISK: "ramdisk"}
 #: chatty (one event per word on the hot paths) and are therefore not in
 #: the default set; enable them explicitly for short workloads.
 ALL_CATEGORIES = frozenset(
-    {"bus", "logger", "kernel", "vm", "txn", "wal", "disk", "timewarp", "metrics"}
+    {
+        "bus",
+        "logger",
+        "kernel",
+        "vm",
+        "txn",
+        "wal",
+        "disk",
+        "timewarp",
+        "metrics",
+        "serve",
+    }
 )
 DEFAULT_CATEGORIES = frozenset(
-    {"kernel", "vm", "txn", "wal", "disk", "timewarp", "metrics"}
+    {"kernel", "vm", "txn", "wal", "disk", "timewarp", "metrics", "serve"}
 )
 
 
@@ -77,6 +95,8 @@ class Tracer:
         self.events: list[dict] = []
         #: open B spans per tid (name stack, for finalize/balance)
         self._open: dict[int, list[str]] = {}
+        #: open flows: (cat, id) -> (name, tid of the flow start)
+        self._open_flows: dict[tuple[str, int], tuple[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Emission
@@ -146,6 +166,52 @@ class Tracer:
             ev["args"] = args
         self.events.append(ev)
 
+    def flow_start(self, cat, name, ts, tid=0, flow_id=0) -> None:
+        """Open flow ``flow_id``: the arrow's tail (client submit)."""
+        self.events.append(
+            {
+                "ph": "s",
+                "cat": cat,
+                "name": name,
+                "ts": ts,
+                "pid": 0,
+                "tid": tid,
+                "id": flow_id,
+            }
+        )
+        self._open_flows[(cat, flow_id)] = (name, tid)
+
+    def flow_step(self, cat, name, ts, tid=0, flow_id=0) -> None:
+        """A waypoint on flow ``flow_id`` (WAL append, device write)."""
+        self.events.append(
+            {
+                "ph": "t",
+                "cat": cat,
+                "name": name,
+                "ts": ts,
+                "pid": 0,
+                "tid": tid,
+                "id": flow_id,
+                "bp": "e",
+            }
+        )
+
+    def flow_end(self, cat, name, ts, tid=0, flow_id=0) -> None:
+        """Close flow ``flow_id``: the arrow's head (ack)."""
+        self.events.append(
+            {
+                "ph": "f",
+                "cat": cat,
+                "name": name,
+                "ts": ts,
+                "pid": 0,
+                "tid": tid,
+                "id": flow_id,
+                "bp": "e",
+            }
+        )
+        self._open_flows.pop((cat, flow_id), None)
+
     def counter(self, cat, name, ts, value) -> None:
         """Emit one sample on counter track ``name``.
 
@@ -167,8 +233,12 @@ class Tracer:
     # ------------------------------------------------------------------
     # Document assembly
     # ------------------------------------------------------------------
+    def open_spans(self) -> dict[int, list[str]]:
+        """Still-open B stacks per tid (crash forensics; call pre-finalize)."""
+        return {tid: list(stack) for tid, stack in self._open.items() if stack}
+
     def finalize(self, ts: int | None = None) -> None:
-        """Close any still-open spans (e.g. after an injected crash)."""
+        """Close any still-open spans and flows (e.g. after a crash)."""
         if ts is None:
             ts = self.clock.now if self.clock is not None else 0
         for tid, stack in self._open.items():
@@ -184,6 +254,9 @@ class Tracer:
                         "tid": tid,
                     }
                 )
+        for (cat, flow_id), (name, tid) in sorted(self._open_flows.items()):
+            self.flow_end(cat, name, ts, tid=tid, flow_id=flow_id)
+        self._open_flows.clear()
 
     def _metadata_events(self) -> list[dict]:
         meta = [
@@ -197,7 +270,10 @@ class Tracer:
         ]
         tids = {ev.get("tid", 0) for ev in self.events}
         for tid in sorted(t for t in tids if isinstance(t, int)):
-            name = _TID_NAMES.get(tid, f"cpu{tid}")
+            if tid >= TID_CLIENT_BASE:
+                name = f"client{tid - TID_CLIENT_BASE}"
+            else:
+                name = _TID_NAMES.get(tid, f"cpu{tid}")
             meta.append(
                 {
                     "ph": "M",
@@ -234,16 +310,25 @@ class Tracer:
 # Schema validation (used by tests and the CI obs job)
 # ----------------------------------------------------------------------
 _REQUIRED = {"ph", "name", "pid"}
-_PHASES = {"X", "B", "E", "i", "C", "M"}
+_PHASES = {"X", "B", "E", "i", "C", "M", "s", "t", "f"}
+_FLOW_PHASES = {"s", "t", "f"}
+#: Phases emitted *live*, in cycle order, on their thread.  ``X`` spans
+#: are emitted at operation *end* carrying the earlier start ``ts``, and
+#: ``i`` instants can carry computed device-completion timestamps, so
+#: only these phases are required to be ts-monotonic in emission order.
+_LIVE_PHASES = {"B", "E", "s", "t", "f"}
 
 
 def validate_trace(doc: dict) -> int:
     """Validate ``doc`` against the Chrome trace-event JSON schema.
 
     Checks the containing object, per-phase required fields, timestamp
-    sanity (non-negative integers, ``dur >= 0``), and B/E balance per
-    thread.  Returns the number of events; raises
-    :class:`TraceFormatError` with every problem found otherwise.
+    sanity (non-negative integers, ``dur >= 0``), B/E balance per
+    thread, per-thread monotonicity of live-emitted timestamps, and
+    flow-event pairing (every flow id has exactly one ``s`` first and
+    one ``f`` last, with ``t`` steps only in between).  Returns the
+    number of events; raises :class:`TraceFormatError` with every
+    problem found otherwise.
     """
     problems: list[str] = []
     if not isinstance(doc, dict) or "traceEvents" not in doc:
@@ -252,6 +337,10 @@ def validate_trace(doc: dict) -> int:
     if not isinstance(events, list):
         raise TraceFormatError("'traceEvents' must be a list")
     open_spans: dict[tuple, int] = {}
+    #: (pid, tid) -> last live-phase ts seen, for monotonicity
+    last_live_ts: dict[tuple, int] = {}
+    #: (cat, id) -> flow state: "open" after s, "closed" after f
+    flows: dict[tuple, str] = {}
     for i, ev in enumerate(events):
         where = f"event {i}"
         if not isinstance(ev, dict):
@@ -293,6 +382,41 @@ def validate_trace(doc: dict) -> int:
         if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
             problems.append(f"{where}: instant scope must be t/p/g")
         key = (ev["pid"], ev.get("tid", 0))
+        if ph in _LIVE_PHASES:
+            ts = ev.get("ts")
+            if isinstance(ts, int):
+                if ts < last_live_ts.get(key, 0):
+                    problems.append(
+                        f"{where}: 'ts' {ts} decreases on {key} "
+                        f"(last was {last_live_ts[key]})"
+                    )
+                else:
+                    last_live_ts[key] = ts
+        if ph in _FLOW_PHASES:
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, int):
+                problems.append(f"{where}: flow event needs an int 'id'")
+            else:
+                fkey = (ev.get("cat", ""), flow_id)
+                state = flows.get(fkey)
+                if ph == "s":
+                    if state is not None:
+                        problems.append(
+                            f"{where}: duplicate flow start for {fkey}"
+                        )
+                    else:
+                        flows[fkey] = "open"
+                elif state != "open":
+                    problems.append(
+                        f"{where}: flow '{ph}' for {fkey} "
+                        + (
+                            "after it was finished"
+                            if state == "closed"
+                            else "with no preceding 's'"
+                        )
+                    )
+                elif ph == "f":
+                    flows[fkey] = "closed"
         if ph == "B":
             open_spans[key] = open_spans.get(key, 0) + 1
         elif ph == "E":
@@ -303,6 +427,9 @@ def validate_trace(doc: dict) -> int:
     for key, depth in open_spans.items():
         if depth:
             problems.append(f"{depth} unclosed 'B' span(s) on {key}")
+    unfinished = [fkey for fkey, state in flows.items() if state != "closed"]
+    for fkey in unfinished:
+        problems.append(f"flow {fkey} started but never finished")
     if problems:
         raise TraceFormatError(
             "invalid trace document:\n  " + "\n  ".join(problems)

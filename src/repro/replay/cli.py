@@ -118,10 +118,89 @@ def _diverge(args) -> int:
     return 0
 
 
+def _crash_bundle(path: str) -> int:
+    """Replay the crash recorded in a postmortem bundle.
+
+    Re-drives the bundle's serve workload under a plan rebuilt from the
+    bundle's ``plan_repr`` and requires the same site/hit, the same
+    acked-transaction list, and byte-identical durable digests — the
+    forensics bundle is a complete recipe for reaching its own crash.
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.obs.postmortem import load_bundle, snapshot_digests
+    from repro.serve.cli import run_serve
+
+    bundle = load_bundle(path)
+    workload = bundle.get("workload") or {}
+    if workload.get("kind") != "serve":
+        print(
+            f"FAIL: bundle workload kind {workload.get('kind')!r} is not "
+            "a serve run; cannot replay it here",
+            file=sys.stderr,
+        )
+        return 1
+    plan_repr = bundle["crash"].get("plan_repr")
+    if not plan_repr:
+        print("FAIL: bundle records no plan_repr to replay", file=sys.stderr)
+        return 1
+    plan = FaultPlan.from_repr(plan_repr)
+    result = run_serve(
+        device=workload["device"],
+        backend=workload["backend"],
+        group=workload["group"],
+        group_commit=workload["group_commit"],
+        clients=workload["clients"],
+        txns=workload["txns"],
+        writes=workload["writes"],
+        seed=workload["seed"],
+        plan=plan,
+    )
+    crash = result["crash"]
+    if crash is None:
+        print(
+            "FAIL: replayed serve run did not crash; plan "
+            f"{plan_repr} never fired",
+            file=sys.stderr,
+        )
+        return 1
+    want = bundle["crash"]
+    if crash.site != want["site"] or crash.seq != want["seq"]:
+        print(
+            f"FAIL: replay crashed at {crash.site!r} hit #{crash.seq}, "
+            f"bundle records {want['site']!r} hit #{want['seq']}",
+            file=sys.stderr,
+        )
+        return 1
+    acked = list(result["server"].acked)
+    if acked != list(bundle.get("acked") or []):
+        print(
+            f"FAIL: replay acked {acked}, bundle records "
+            f"{bundle.get('acked')}",
+            file=sys.stderr,
+        )
+        return 1
+    want_digests = bundle.get("digests") or {}
+    got_digests = snapshot_digests(crash.snapshot)
+    if want_digests and got_digests != want_digests:
+        print(
+            "FAIL: replayed durable state digests differ from the bundle",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"crash: bundle {path} replayed to {crash.site!r} hit #{crash.seq}; "
+        f"{len(acked)} acked txns and durable digests identical"
+    )
+    return 0
+
+
 def _crash(args) -> int:
     from repro.faults.plan import CrashPoint, CrashSpec, FaultPlan
     from repro.faults.sweep import DEFAULT_SCRIPT, run_script
     from repro.rvm.rlvm import RLVM
+
+    if args.bundle is not None:
+        return _crash_bundle(args.bundle)
 
     # The site comes from argv; an unknown name fails at run time with
     # "never fired" rather than at lint time.
@@ -176,6 +255,12 @@ def main(argv=None) -> int:
     p_crash.add_argument("--site", default="rvm.commit.durable")
     p_crash.add_argument("--nth", type=int, default=1)
     p_crash.add_argument("--mode", default="before")
+    p_crash.add_argument(
+        "--bundle",
+        default=None,
+        metavar="PATH",
+        help="replay the crash recorded in a postmortem bundle instead",
+    )
     p_crash.set_defaults(fn=_crash)
 
     args = parser.parse_args(argv)

@@ -36,7 +36,9 @@ from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
 from repro.backends.base import LogDevice
 from repro.backends.ramdisk import RamDisk
+from repro.obs import causal
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 from repro.rvm.rvm import DEFAULT_DISK_BYTES
 from repro.rvm.wal import WriteAheadLog
 
@@ -275,16 +277,25 @@ class RLVM:
             self._pending.append((txn.tid, all_writes))
         self.committed_count += 1
         self._active_txn = None
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(proc.now, "rvm.commit", txn.tid, len(all_writes))
         if o is not None:
             o.metrics.inc("rvm.commits")
             o.metrics.observe("rvm.txn_cycles", proc.now - txn._begin_cycle)
+            args = {"tid": txn.tid, "records": len(all_writes), "flush": flush}
+            ca = causal._ACTIVE
+            if ca is not None:
+                rids = ca.current_rids()
+                if rids:
+                    args["rids"] = list(rids)
             o.span(
                 "txn",
                 "rlvm.commit",
                 commit_start,
                 proc.now,
                 proc.cpu.index,
-                args={"tid": txn.tid, "records": len(all_writes), "flush": flush},
+                args=args,
             )
 
     def _abort(self, txn: RLVMTransaction) -> None:
@@ -304,6 +315,9 @@ class RLVM:
             rseg.log.truncate()
         self.aborted_count += 1
         self._active_txn = None
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(proc.now, "rvm.abort", txn.tid, 0)
         if o is not None:
             o.metrics.inc("rvm.aborts")
             o.metrics.observe("rvm.txn_cycles", proc.now - txn._begin_cycle)
@@ -337,15 +351,24 @@ class RLVM:
         # must push its batch now (free on the synchronous devices).
         self.disk.flush(self.proc.cpu)
         self._pending.clear()
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(self.proc.now, "rvm.flush", pending, 0)
         if o is not None:
             o.metrics.inc("rvm.flushes")
+            args = {"pending_commits": pending}
+            ca = causal._ACTIVE
+            if ca is not None:
+                rids = ca.current_rids()
+                if rids:
+                    args["rids"] = list(rids)
             o.span(
                 "txn",
                 "rlvm.flush",
                 flush_start,
                 self.proc.now,
                 self.proc.cpu.index,
-                args={"pending_commits": pending},
+                args=args,
             )
 
     # ------------------------------------------------------------------
@@ -381,6 +404,9 @@ class RLVM:
         faultplan.hit("rvm.truncate.applied", cycle=proc.now)
         self.wal.reset(proc.cpu)
         self.disk.flush(proc.cpu)  # the head marker itself must land
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(proc.now, "rvm.truncate", len(entries), 0)
         if o is not None:
             o.metrics.inc("rvm.truncates")
             o.span(

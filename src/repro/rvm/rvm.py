@@ -37,7 +37,9 @@ from dataclasses import dataclass
 from repro.errors import TransactionError
 from repro.core.process import Process
 from repro.faults import plan as faultplan
+from repro.obs import causal
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 from repro.core.region import StdRegion
 from repro.core.segment import StdSegment
 from repro.backends.base import LogDevice
@@ -221,16 +223,25 @@ class Transaction:
         self.active = False
         self.rvm.committed_count += 1
         self.rvm._txn_finished(self)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(proc.now, "rvm.commit", self.tid, len(writes))
         if o is not None:
             o.metrics.inc("rvm.commits")
             o.metrics.observe("rvm.txn_cycles", proc.now - self._begin_cycle)
+            args = {"tid": self.tid, "ranges": len(writes), "flush": flush}
+            ca = causal._ACTIVE
+            if ca is not None:
+                rids = ca.current_rids()
+                if rids:
+                    args["rids"] = list(rids)
             o.span(
                 "txn",
                 "rvm.commit",
                 commit_start,
                 proc.now,
                 proc.cpu.index,
-                args={"tid": self.tid, "ranges": len(writes), "flush": flush},
+                args=args,
             )
 
     def abort(self) -> None:
@@ -247,6 +258,9 @@ class Transaction:
         self.active = False
         self.rvm.aborted_count += 1
         self.rvm._txn_finished(self)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(proc.now, "rvm.abort", self.tid, 0)
         if o is not None:
             o.metrics.inc("rvm.aborts")
             o.metrics.observe("rvm.txn_cycles", proc.now - self._begin_cycle)
@@ -388,15 +402,24 @@ class RVM:
         # must push its batch now (free on the synchronous devices).
         self.disk.flush(self.proc.cpu)
         self._pending.clear()
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(self.proc.now, "rvm.flush", pending, 0)
         if o is not None:
             o.metrics.inc("rvm.flushes")
+            args = {"pending_commits": pending}
+            ca = causal._ACTIVE
+            if ca is not None:
+                rids = ca.current_rids()
+                if rids:
+                    args["rids"] = list(rids)
             o.span(
                 "txn",
                 "rvm.flush",
                 flush_start,
                 self.proc.now,
                 self.proc.cpu.index,
-                args={"pending_commits": pending},
+                args=args,
             )
 
     # ------------------------------------------------------------------
@@ -440,6 +463,9 @@ class RVM:
         # Persist the new log head (one I/O), then reclaim the space.
         self.wal.reset(proc.cpu)
         self.disk.flush(proc.cpu)  # the head marker itself must land
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(proc.now, "rvm.truncate", len(entries), 0)
         if o is not None:
             o.metrics.inc("rvm.truncates")
             o.span(

@@ -44,7 +44,9 @@ from repro.backends.base import LogDevice
 from repro.errors import RecoveryError
 from repro.faults import plan as faultplan
 from repro.hw.cpu import CPU
+from repro.obs import causal
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 
 _HEADER = struct.Struct("<IBI")
 _TID = struct.Struct("<I")
@@ -106,9 +108,18 @@ class WriteAheadLog:
             )
         o = obscore._ACTIVE
         start_cycle = cpu.now if o is not None else 0
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.flow_step(cpu.now, cpu.index)
+            ca.stage_enter("wal_append", cpu.now)
         self.disk.write(cpu, self.base + self.tail, frame + _TERMINATOR)
         self.tail += len(frame)
         self.appends += 1
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "wal.append", kind.name, len(frame))
         if o is not None:
             # Emitted only after the write lands, so a CrashPoint raised
             # inside the fault hook never leaves a dangling span.
@@ -216,8 +227,17 @@ class WriteAheadLog:
             )
         o = obscore._ACTIVE
         start_cycle = cpu.now if o is not None else 0
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.flow_step(cpu.now, cpu.index)
+            ca.stage_enter("wal_append", cpu.now)
         self.disk.write(cpu, self.base + self.tail, frames + _TERMINATOR)
         self.tail += len(frames)
+        if ca is not None:
+            ca.stage_exit(cpu.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(cpu.now, "wal.append_group", len(frames), first_len)
         if o is not None:
             o.metrics.inc("rvm.wal.appends")
             o.metrics.inc("rvm.wal.bytes", len(frames))

@@ -25,13 +25,14 @@ requests from a :class:`~repro.serve.channel.Channel`:
 
 from __future__ import annotations
 
-import asyncio
 from collections import deque
 
 from repro.analytics.core import PageTouchAttribution
 from repro.errors import LVMError
 from repro.faults.plan import CrashPoint
+from repro.obs import causal
 from repro.obs import core as obscore
+from repro.obs import flight as obsflight
 from repro.rvm.rvm import RVM
 from repro.serve.channel import Channel, Request
 
@@ -40,12 +41,17 @@ class ServeCrashed(LVMError):
     """The server hit an injected crash; the operation was not served.
 
     ``crash`` carries the :class:`CrashPoint` (durable snapshot,
-    replayable plan repr) for recovery checking.
+    replayable plan repr) for recovery checking; ``inflight`` lists a
+    descriptor (``rid``, ``client``, ``op``, ``last_stage``) for every
+    request the dead server never acknowledged — the mid-dispatch
+    request first, then the unflushed batch, parked begins, and still
+    queued requests, in that order.
     """
 
-    def __init__(self, crash: CrashPoint) -> None:
+    def __init__(self, crash: CrashPoint, inflight: list | None = None) -> None:
         super().__init__(f"server crashed: {crash}")
         self.crash = crash
+        self.inflight: list[dict] = list(inflight) if inflight else []
 
 
 class TxnServer:
@@ -70,8 +76,10 @@ class TxnServer:
         self._active_client: int | None = None
         self._active_txn = None
         self._parked: deque[Request] = deque()
-        #: buffered group-commit acks: (tid, future, start_cycle)
-        self._batch: list[tuple[int, asyncio.Future, int]] = []
+        #: buffered group-commit acks: (tid, request, start_cycle)
+        self._batch: list[tuple[int, Request, int]] = []
+        #: next deterministic request id (minted by :meth:`submit`)
+        self._next_rid = 1
         #: tids acknowledged durable, in acknowledgement order
         self.acked: list[int] = []
         #: tids in commit-processing order (== WAL append order)
@@ -79,9 +87,31 @@ class TxnServer:
         #: cycles from commit receipt to durability ack, per commit
         self.commit_latencies: list[int] = []
         self.crashed: CrashPoint | None = None
+        #: in-flight request descriptors captured at the crash
+        self.crash_inflight: list[dict] = []
         #: per-client page-touch attribution (the request dispatcher is
         #: where client identity is known, so WSS is accounted here)
         self.page_attribution = PageTouchAttribution()
+
+    # ------------------------------------------------------------------
+    # Request entry (clients call this, not the channel directly)
+    # ------------------------------------------------------------------
+    async def submit(self, op: str, client: int, *payload):
+        """Mint a deterministic request id and submit over the channel.
+
+        The id is minted here — not in the client — so ids order by
+        submission regardless of which client coroutine runs; when a
+        :class:`~repro.obs.causal.CausalTracker` is installed a
+        :class:`~repro.obs.causal.TraceContext` rides along with the
+        request and the client's flow event opens now, at submit time.
+        """
+        rid = self._next_rid
+        self._next_rid += 1
+        ca = causal._ACTIVE
+        ctx = None
+        if ca is not None:
+            ctx = ca.open_request(rid, client, op, self._proc.now)
+        return await self.channel.call(op, client, *payload, rid=rid, ctx=ctx)
 
     # ------------------------------------------------------------------
     # Serving loop
@@ -116,9 +146,37 @@ class TxnServer:
 
     def _dispatch(self, request: Request) -> bool:
         """Serve one request; False ends the loop (shutdown)."""
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.dispatch(request.ctx, self._proc.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(self._proc.now, "serve.dispatch", request.op, request.rid)
+        try:
+            result = self._serve_op(request)
+        except BaseException:
+            # Crash mid-dispatch: detach the tracker but leave the
+            # dispatch span open — it is the postmortem's record of
+            # what the server was doing when it died.
+            ca = causal._ACTIVE
+            if ca is not None:
+                ca.dispatch_abandoned()
+            raise
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.dispatch_done(self._proc.now)
+        return result
+
+    def _serve_op(self, request: Request) -> bool:
         op = request.op
         if op == "begin":
             if self._active_txn is not None:
+                ctx = request.ctx
+                if ctx is not None:
+                    # Parked is queueing, not library work: reopen the
+                    # queue_wait stage until the grant.
+                    ctx.stage_exit(self._proc.now)
+                    ctx.stage_enter("queue_wait", self._proc.now)
                 self._parked.append(request)
             else:
                 self._grant(request)
@@ -129,13 +187,13 @@ class TxnServer:
                 self._active_txn.set_range(vaddr, 4)
             self._active_txn.write(vaddr, value)
             self.page_attribution.touch(request.client, vaddr, 4)
-            request.future.set_result(None)
+            self._resolve(request, None)
         elif op == "commit":
             self._commit(request)
         elif op == "abort":
             self._active_txn.abort()
             self._finish_txn()
-            request.future.set_result(None)
+            self._resolve(request, None)
         elif op == "shutdown":
             if self._batch:
                 self._flush_batch()
@@ -143,7 +201,7 @@ class TxnServer:
             if o is not None:
                 for client, wss in self.client_wss().items():
                     o.metrics.set_gauge(f"serve.client_wss.{client}", wss)
-            request.future.set_result(None)
+            self._resolve(request, None)
             return False
         else:
             request.future.set_exception(LVMError(f"unknown op {op!r}"))
@@ -152,11 +210,18 @@ class TxnServer:
     # ------------------------------------------------------------------
     # Transaction lifecycle
     # ------------------------------------------------------------------
+    def _resolve(self, request: Request, value) -> None:
+        """Resolve a non-commit request, closing its trace context."""
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.finish(request.ctx, self._proc.now)
+        request.future.set_result(value)
+
     def _grant(self, request: Request) -> None:
         txn = self.lib.begin()
         self._active_client = request.client
         self._active_txn = txn
-        request.future.set_result(txn.tid)
+        self._resolve(request, txn.tid)
 
     def _finish_txn(self) -> None:
         self._active_client = None
@@ -171,12 +236,20 @@ class TxnServer:
         if self.group_size == 1:
             txn.commit(flush=True)
             self._finish_txn()
-            self._ack(txn.tid, request.future, start_cycle)
+            self._ack(txn.tid, request, start_cycle)
+            ca = causal._ACTIVE
+            if ca is not None:
+                # The request is acked: truncation work below belongs to
+                # the server, not to the finished context.
+                ca.dispatch_done()
             self._maybe_truncate()
         else:
             txn.commit(flush=False)
             self._finish_txn()
-            self._batch.append((txn.tid, request.future, start_cycle))
+            ca = causal._ACTIVE
+            if ca is not None:
+                ca.park(request.ctx, self._proc.now)
+            self._batch.append((txn.tid, request, start_cycle))
             if len(self._batch) >= self.group_size:
                 self._flush_batch()
 
@@ -188,10 +261,16 @@ class TxnServer:
         :meth:`_fail_outstanding` — those commits were never
         acknowledged, so their clients must see the failure.
         """
+        ca = causal._ACTIVE
+        if ca is not None:
+            contexts = [request.ctx for _tid, request, _start in self._batch]
+            ca.adopt_batch(contexts, self._proc.now)
         self.lib.flush()
         batch, self._batch = self._batch, []
-        for tid, future, start_cycle in batch:
-            self._ack(tid, future, start_cycle)
+        for tid, request, start_cycle in batch:
+            self._ack(tid, request, start_cycle)
+        if ca is not None:
+            ca.dispatch_done()
         self._maybe_truncate()
 
     def client_wss(self) -> dict:
@@ -208,7 +287,7 @@ class TxnServer:
         if maybe is not None:
             maybe()
 
-    def _ack(self, tid: int, future: asyncio.Future, start_cycle: int) -> None:
+    def _ack(self, tid: int, request: Request, start_cycle: int) -> None:
         latency = self._proc.now - start_cycle
         self.acked.append(tid)
         self.commit_latencies.append(latency)
@@ -218,23 +297,58 @@ class TxnServer:
             o.metrics.observe(
                 f"serve.commit_cycles.{self._backend_name}", latency
             )
-        future.set_result(latency)
+        ca = causal._ACTIVE
+        if ca is not None:
+            ca.finish(request.ctx, self._proc.now)
+        fr = obsflight._ACTIVE
+        if fr is not None:
+            fr.record(self._proc.now, "serve.ack", request.rid, tid)
+        request.future.set_result(latency)
 
     # ------------------------------------------------------------------
     # Crash handling
     # ------------------------------------------------------------------
     def _on_crash(self, crash: CrashPoint, request: Request | None) -> None:
         self.crashed = crash
-        error = ServeCrashed(crash)
+        # Drain the queue *before* building the error so the still-queued
+        # requests appear in the in-flight descriptor list too.
+        queued: list[Request] = []
+        while self.channel.pending():
+            queued.append(self.channel._queue.get_nowait())
+        unserved: list[Request] = []
+        if request is not None:
+            unserved.append(request)
+        unserved.extend(req for _tid, req, _start in self._batch)
+        unserved.extend(self._parked)
+        unserved.extend(queued)
+        inflight = [self._describe_request(req) for req in unserved]
+        self.crash_inflight = inflight
+        error = ServeCrashed(crash, inflight)
+        ca = causal._ACTIVE
+        if ca is not None:
+            for req in unserved:
+                ca.drop(req.ctx)
         if request is not None and not request.future.done():
             request.future.set_exception(error)
-        self._fail_outstanding(error)
+        self._fail_outstanding(error, queued)
 
-    def _fail_outstanding(self, error: "ServeCrashed") -> None:
+    @staticmethod
+    def _describe_request(request: Request) -> dict:
+        ctx = request.ctx
+        if ctx is not None:
+            return ctx.describe()
+        return {
+            "rid": request.rid,
+            "client": request.client,
+            "op": request.op,
+            "last_stage": None,
+        }
+
+    def _fail_outstanding(self, error: "ServeCrashed", queued=()) -> None:
         """Fail every future a dead server can no longer serve."""
-        for _tid, future, _start in self._batch:
-            if not future.done():
-                future.set_exception(error)
+        for _tid, request, _start in self._batch:
+            if not request.future.done():
+                request.future.set_exception(error)
         self._batch = []
         for request in self._parked:
             if not request.future.done():
@@ -242,6 +356,9 @@ class TxnServer:
         self._parked.clear()
         # Later queued requests will never be consumed: fail them too so
         # no client coroutine awaits forever.
+        for request in queued:
+            if not request.future.done():
+                request.future.set_exception(error)
         while self.channel.pending():
             request = self.channel._queue.get_nowait()
             if not request.future.done():
@@ -252,25 +369,26 @@ class ClientSession:
     """One client's view: begin/write/commit over the channel."""
 
     def __init__(self, server: TxnServer, client_id: int) -> None:
+        self._server = server
         self._channel = server.channel
         self.client_id = client_id
 
     async def begin(self) -> int:
         """Start a transaction; resolves with its tid when granted."""
-        return await self._channel.call("begin", self.client_id)
+        return await self._server.submit("begin", self.client_id)
 
     async def write(self, word: int, value: int) -> None:
         """Write ``value`` to word index ``word`` of the served segment."""
-        await self._channel.call("write", self.client_id, word, value)
+        await self._server.submit("write", self.client_id, word, value)
 
     async def commit(self) -> int:
         """Commit; resolves with the commit latency in cycles once the
         transaction is durable (after the group flush when batching)."""
-        return await self._channel.call("commit", self.client_id)
+        return await self._server.submit("commit", self.client_id)
 
     async def abort(self) -> None:
-        await self._channel.call("abort", self.client_id)
+        await self._server.submit("abort", self.client_id)
 
     async def shutdown(self) -> None:
         """Ask the server to flush any open batch and stop."""
-        await self._channel.call("shutdown", self.client_id)
+        await self._server.submit("shutdown", self.client_id)

@@ -1,0 +1,125 @@
+"""Crash forensics end to end: traced crash → bundle → replay.
+
+One injected crash is driven through a fully instrumented serve run
+(tracer + causal tracker + flight recorder).  The tests pin that the
+resulting trace is schema-valid even though requests died mid-flow,
+that the postmortem bundle round-trips through disk and names the
+in-flight requests, and that ``replay crash --bundle`` re-drives the
+run to the *same* crash with byte-identical durable state.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import CrashSpec, FaultPlan
+from repro.obs.cli import obs_main, run_traced_serve
+from repro.obs.postmortem import (
+    build_bundle,
+    load_bundle,
+    snapshot_digests,
+    summarize,
+    write_bundle,
+)
+from repro.obs.trace import validate_trace
+from repro.replay.cli import main as replay_main
+
+_WORKLOAD = dict(clients=8, txns=3, writes=2, seed=7)
+
+
+def _plan():
+    return FaultPlan(seed=7, crash=CrashSpec("backend.flush", 3))
+
+
+def _traced_crash():
+    obs, tracker, result = run_traced_serve(plan=_plan(), **_WORKLOAD)
+    assert result["crash"] is not None
+    return obs, tracker, result
+
+
+class TestTracedCrash:
+    def test_crashed_trace_still_validates(self):
+        obs, tracker, result = _traced_crash()
+        doc = obs.tracer.to_json()
+        # Dropped requests' flows were force-finished by finalize; the
+        # validator's pairing and monotonicity rules must still hold.
+        assert validate_trace(doc) > 0
+
+    def test_open_spans_captured_before_finalize(self):
+        obs, tracker, result = _traced_crash()
+        # The dying commit's span stack was still open at the crash.
+        assert any(stack for stack in result["open_spans"].values())
+
+    def test_tracker_reports_the_unacked_requests_as_dropped(self):
+        obs, tracker, result = _traced_crash()
+        server = result["server"]
+        assert not tracker.open  # drop() forgot every unserved request
+        completed_commits = [c for c in tracker.completed if c.op == "commit"]
+        assert len(completed_commits) == len(server.acked)
+        assert len(server.acked) < _WORKLOAD["clients"] * _WORKLOAD["txns"]
+
+
+class TestPostmortemBundle:
+    def _bundle(self, tmp_path):
+        obs, tracker, result = _traced_crash()
+        server = result["server"]
+        bundle = build_bundle(
+            result["crash"],
+            workload=result["workload"],
+            metrics=obs.metrics.snapshot(),
+            open_spans=result["open_spans"],
+            inflight=server.crash_inflight,
+            acked=list(server.acked),
+        )
+        path = tmp_path / "postmortem.json"
+        write_bundle(path, bundle)
+        return path, bundle, result
+
+    def test_bundle_round_trips_through_disk(self, tmp_path):
+        path, bundle, result = self._bundle(tmp_path)
+        loaded = load_bundle(path)
+        assert loaded == bundle
+        assert loaded["crash"]["site"] == "backend.flush"
+        assert loaded["crash"]["seq"] == 3
+        assert loaded["inflight"]
+        assert loaded["inflight"][0]["last_stage"] == "barrier"
+        # The flight tail ends in the fatal event.
+        assert loaded["flight"][-1][1] == "fault.crash"
+        assert loaded["digests"] == snapshot_digests(result["crash"].snapshot)
+
+    def test_summary_names_the_crash_and_inflight(self, tmp_path):
+        path, bundle, _result = self._bundle(tmp_path)
+        text = summarize(load_bundle(path))
+        assert "backend.flush" in text
+        assert "in flight" in text
+        assert "flight recorder" in text
+
+    def test_obs_postmortem_cli_loads_it(self, tmp_path, capsys):
+        path, _bundle, _result = self._bundle(tmp_path)
+        assert obs_main(["postmortem", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "backend.flush" in out
+
+    def test_load_rejects_non_bundles(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ConfigError, match="not a lvm-postmortem"):
+            load_bundle(path)
+
+
+class TestReplayFromBundle:
+    def test_replay_crash_bundle_reaches_identical_crash(self, tmp_path, capsys):
+        obs, tracker, result = _traced_crash()
+        server = result["server"]
+        bundle = build_bundle(
+            result["crash"],
+            workload=result["workload"],
+            inflight=server.crash_inflight,
+            acked=list(server.acked),
+        )
+        path = tmp_path / "postmortem.json"
+        write_bundle(path, bundle)
+        # The replay runs *without* any instrumentation installed — the
+        # identity invariant is what makes the bundle a replay recipe.
+        assert replay_main(["crash", "--bundle", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "digests identical" in out

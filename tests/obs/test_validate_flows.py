@@ -1,0 +1,121 @@
+"""validate_trace: live-timestamp monotonicity and flow-event pairing.
+
+Fixture-driven checks of the two validator rules added for causal
+tracing: per-thread non-decreasing ``ts`` over live-emitted phases
+(B/E/s/t/f — ``X``/``i`` events legitimately carry earlier or computed
+timestamps), and ``s``/``t``/``f`` flow pairing per ``(cat, id)``.
+"""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.obs.trace import TraceFormatError, Tracer, validate_trace
+
+
+def _doc(*events):
+    return {"traceEvents": list(events)}
+
+
+def _ev(ph, ts, tid=0, **extra):
+    base = {"name": "n", "cat": "serve", "ph": ph, "ts": ts, "pid": 0, "tid": tid}
+    base.update(extra)
+    return base
+
+
+class TestLiveTimestampMonotonicity:
+    def test_decreasing_live_ts_rejected(self):
+        doc = _doc(_ev("B", 10), _ev("E", 5))
+        with pytest.raises(TraceFormatError, match="'ts' 5 decreases"):
+            validate_trace(doc)
+
+    def test_decreasing_ts_on_other_thread_ok(self):
+        doc = _doc(_ev("B", 10, tid=1), _ev("B", 5, tid=2),
+                   _ev("E", 11, tid=1), _ev("E", 6, tid=2))
+        assert validate_trace(doc) == 4
+
+    def test_complete_events_exempt(self):
+        # X spans are emitted at op end carrying the op's *start* ts, so
+        # emission order is legitimately non-monotonic in ts.
+        doc = _doc(_ev("X", 100, dur=5), _ev("X", 20, dur=3))
+        assert validate_trace(doc) == 2
+
+    def test_flow_events_are_live(self):
+        doc = _doc(
+            _ev("s", 50, id=1),
+            _ev("t", 40, id=1, bp="e"),
+            _ev("f", 60, id=1, bp="e"),
+        )
+        with pytest.raises(TraceFormatError, match="decreases"):
+            validate_trace(doc)
+
+
+class TestFlowPairing:
+    def test_valid_flow_chain_passes(self):
+        doc = _doc(
+            _ev("s", 10, id=7),
+            _ev("t", 20, id=7, bp="e"),
+            _ev("t", 30, id=7, bp="e"),
+            _ev("f", 40, id=7, bp="e"),
+        )
+        assert validate_trace(doc) == 4
+
+    def test_flow_needs_int_id(self):
+        doc = _doc(_ev("s", 10, id="seven"))
+        with pytest.raises(TraceFormatError, match="int 'id'"):
+            validate_trace(doc)
+
+    def test_duplicate_start_rejected(self):
+        doc = _doc(_ev("s", 10, id=7), _ev("s", 20, id=7))
+        with pytest.raises(TraceFormatError, match="duplicate flow start"):
+            validate_trace(doc)
+
+    def test_step_without_start_rejected(self):
+        doc = _doc(_ev("t", 10, id=7, bp="e"))
+        with pytest.raises(TraceFormatError, match="no preceding 's'"):
+            validate_trace(doc)
+
+    def test_step_after_finish_rejected(self):
+        doc = _doc(
+            _ev("s", 10, id=7),
+            _ev("f", 20, id=7, bp="e"),
+            _ev("t", 30, id=7, bp="e"),
+        )
+        with pytest.raises(TraceFormatError, match="after it was finished"):
+            validate_trace(doc)
+
+    def test_unfinished_flow_rejected(self):
+        doc = _doc(_ev("s", 10, id=7))
+        with pytest.raises(TraceFormatError, match="never finished"):
+            validate_trace(doc)
+
+    def test_same_id_in_other_category_is_distinct(self):
+        doc = _doc(
+            _ev("s", 10, id=7),
+            _ev("s", 11, id=7, cat="wal"),
+            _ev("f", 20, id=7, bp="e"),
+            _ev("f", 21, id=7, cat="wal", bp="e"),
+        )
+        assert validate_trace(doc) == 4
+
+
+class TestTracerFlowEmission:
+    def test_flow_helpers_emit_schema_valid_events(self):
+        t = Tracer(categories=["serve"], clock=Clock())
+        t.flow_start("serve", "serve.req", 10, tid=201, flow_id=3)
+        t.flow_step("serve", "serve.req", 20, tid=0, flow_id=3)
+        t.flow_end("serve", "serve.req", 30, tid=201, flow_id=3)
+        s, step, f = t.events
+        assert (s["ph"], step["ph"], f["ph"]) == ("s", "t", "f")
+        assert {e["id"] for e in t.events} == {3}
+        assert step["bp"] == "e" and f["bp"] == "e"
+        assert validate_trace(t.to_json()) == len(t.to_json()["traceEvents"])
+
+    def test_finalize_closes_open_flows(self):
+        t = Tracer(categories=["serve"])
+        t.flow_start("serve", "serve.req", 10, tid=201, flow_id=3)
+        t.flow_start("serve", "serve.req", 12, tid=202, flow_id=4)
+        t.finalize(99)
+        ends = [e for e in t.events if e["ph"] == "f"]
+        assert sorted(e["id"] for e in ends) == [3, 4]
+        assert all(e["ts"] == 99 for e in ends)
+        assert validate_trace(t.to_json()) == len(t.to_json()["traceEvents"])
