@@ -1,0 +1,79 @@
+"""Tiny abstract-interpretation driver for interprocedural summaries.
+
+Rules compute a *summary* per (function, specialization) pair — e.g.
+LVM101 summarizes ``Transaction.commit`` separately for
+``flush=True`` and ``flush=False`` — by running a CFG fixpoint that
+consults callee summaries at call sites.  Recursion makes that
+demand-driven lookup cyclic; :class:`Interproc` solves it the standard
+way: unknown summaries start at a bottom value, the dependency closure
+is re-evaluated until nothing changes, and a generous iteration guard
+bounds pathological cases (all rule lattices here are small and their
+transfer functions monotone, so real fixpoints land in 2–3 rounds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Hashable, List, Set, TypeVar
+
+Key = TypeVar("Key", bound=Hashable)
+Summary = TypeVar("Summary")
+
+#: Fixpoint iteration cap — far above any monotone lattice's height
+#: here; reaching it means a non-monotone transfer function (a bug).
+MAX_ROUNDS = 64
+
+
+class Interproc(Generic[Key, Summary]):
+    """Demand-driven interprocedural summary cache with fixpoint.
+
+    ``compute(key, lookup)`` produces the summary of ``key`` using
+    ``lookup(other)`` for callees; cyclic lookups observe the current
+    approximation (initially ``bottom()``) and the cycle is iterated
+    until every member's summary is stable.
+    """
+
+    def __init__(
+        self,
+        bottom: Callable[[Key], Summary],
+        compute: Callable[[Key, Callable[[Key], Summary]], Summary],
+    ) -> None:
+        self._bottom = bottom
+        self._compute = compute
+        self._cache: Dict[Key, Summary] = {}
+        self._stable: Set[Key] = set()
+
+    def summary(self, key: Key) -> Summary:
+        if key in self._stable:
+            return self._cache[key]
+        self._solve(key)
+        return self._cache[key]
+
+    def _solve(self, root: Key) -> None:
+        discovered: List[Key] = []
+        discovered_set: Set[Key] = set()
+
+        def discover(key: Key) -> None:
+            if key not in discovered_set and key not in self._stable:
+                discovered_set.add(key)
+                discovered.append(key)
+                self._cache.setdefault(key, self._bottom(key))
+
+        def lookup(key: Key) -> Summary:
+            if key in self._stable:
+                return self._cache[key]
+            discover(key)
+            return self._cache[key]
+
+        discover(root)
+        for _ in range(MAX_ROUNDS):
+            changed = False
+            # ``discovered`` may grow inside the loop as lookups find
+            # new callees; iterate over a snapshot, then re-check.
+            for key in list(discovered):
+                new = self._compute(key, lookup)
+                if new != self._cache[key]:
+                    self._cache[key] = new
+                    changed = True
+            if not changed:
+                break
+        self._stable.update(discovered)

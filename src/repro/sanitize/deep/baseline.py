@@ -1,0 +1,143 @@
+"""Committed baseline for the deep linter.
+
+A baseline lets a rule land before the last violation is fixed: known
+findings are recorded in ``.lvm-deep-baseline.json`` at the repo root
+and subtracted from the report, so CI stays green while the debt is
+visible and diffable in review.  Two properties keep it honest:
+
+* **Entries are narrow.**  Each entry pins a rule id, a path (exact
+  match on the finding's reported path), and a message substring — not
+  a line number, so mere reformatting does not invalidate it, but also
+  not a blanket per-file or per-rule waiver.
+
+* **Stale entries are errors.**  An entry that matches no current
+  finding means the violation was fixed (delete the entry) or the code
+  changed out from under it (re-baseline deliberately).  Either way the
+  run fails with a drift error; a baseline may only shrink silently,
+  never rot.
+
+The repo ships an *empty* baseline: every deep rule holds with zero
+waivers.  ``python -m repro lint --deep --write-baseline`` regenerates
+the file from current findings when debt must be taken on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.sanitize.engine import Finding
+
+#: Schema version written into the baseline file.
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up at the repo root.
+BASELINE_NAME = ".lvm-deep-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One waived finding: rule + exact path + message substring."""
+
+    rule_id: str
+    path: str
+    contains: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule_id == self.rule_id
+            and finding.path == self.path
+            and self.contains in finding.message
+        )
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+def default_path(start: Path | None = None) -> Path:
+    """``.lvm-deep-baseline.json`` in the nearest ancestor that has one.
+
+    Falls back to ``<start>/.lvm-deep-baseline.json`` (which may not
+    exist — an absent baseline is simply empty).
+    """
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        path = candidate / BASELINE_NAME
+        if path.is_file():
+            return path
+    return here / BASELINE_NAME
+
+
+def load(path: Path) -> List[BaselineEntry]:
+    """Load baseline entries; an absent file is an empty baseline."""
+    if not path.is_file():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise BaselineError(f"{path}: expected an object with an 'entries' list")
+    entries: List[BaselineEntry] = []
+    for i, raw in enumerate(data["entries"]):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: entry {i} is not an object")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule_id=str(raw["rule_id"]),
+                    path=str(raw["path"]),
+                    contains=str(raw["contains"]),
+                )
+            )
+        except KeyError as exc:
+            raise BaselineError(f"{path}: entry {i} is missing key {exc}") from exc
+    return entries
+
+
+def apply(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Subtract baselined findings.
+
+    Returns ``(new_findings, stale_entries)``: findings no entry
+    matches, and entries that matched nothing (baseline drift — the
+    caller must fail the run on them).
+    """
+    kept: List[Finding] = []
+    used = [False] * len(entries)
+    for finding in findings:
+        matched = False
+        for i, entry in enumerate(entries):
+            if entry.matches(finding):
+                used[i] = True
+                matched = True
+        if not matched:
+            kept.append(finding)
+    stale = [entry for i, entry in enumerate(entries) if not used[i]]
+    return kept, stale
+
+
+def render(findings: Sequence[Finding]) -> str:
+    """Serialise current findings as a fresh baseline document."""
+    entries = sorted(
+        {
+            (f.rule_id, f.path, f.message)
+            for f in findings
+        }
+    )
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule_id": rule_id, "path": path, "contains": message}
+            for rule_id, path, message in entries
+        ],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def write(path: Path, findings: Sequence[Finding]) -> None:
+    path.write_text(render(findings))

@@ -1,0 +1,532 @@
+"""LVM101 — interprocedural durability ordering (ack after flush).
+
+The invariant the whole repo sells: *a commit acknowledged to a client
+is durable in the log*.  Statically: on every path from a buffered
+commit/append to an acknowledgement, a ``flush()``/``barrier()`` on
+the owning log device dominates the ack.
+
+Abstract state per program point — a set over three tokens:
+
+* ``CLEAN`` — every append so far is durable (a flush dominates);
+* ``DIRTY`` — some append is buffered and not yet flushed;
+* ``ENTRY`` — same durability state the function was entered with
+  (summaries are computed relative to a symbolic entry, so one
+  summary serves every call site).
+
+Primitive events, recognised at call sites:
+
+* ``<device>.write(...)`` where the receiver looks like a log device
+  (``disk`` / ``device`` / ``dev`` / ``backend``) → APPEND (state
+  becomes ``{DIRTY}``): devices may buffer, so a write alone proves
+  nothing.  ``inner.write`` is exempt — :class:`GroupCommit` requires
+  a *synchronous* inner device by constructor contract;
+* ``*._pending.append(...)`` → APPEND — the libraries' no-flush
+  commit buffer;
+* any call to a method/function named exactly ``flush`` or
+  ``barrier`` → FLUSH (state becomes ``{CLEAN}``).  Flush calls are
+  *trusted at call sites* and every flush implementation is separately
+  checked (assume/guarantee): its normal exits must never be DIRTY —
+  a flush body that can return with its own appends unflushed is a
+  finding in its own right;
+* acknowledgements: a call to an ack-named function (``_ack``,
+  ``ack_*``), or ``*.set_result(...)`` *inside* an ack-named function.
+  A plain ``set_result`` elsewhere (granting a parked begin, resolving
+  a write) is not a durability claim and is deliberately not an
+  obligation.
+
+A summary records the exit states (relative to ENTRY) and whether the
+function may acknowledge while still carrying the caller's entry
+state — ``acks_dirty_entry`` — which is how an ack deep in
+``_flush_batch`` is checked against the buffered commit two frames up.
+
+Summaries are specialized on literal boolean arguments so
+``commit(flush=True)`` and ``commit(flush=False)`` are separate
+facts — the classic context-sensitivity this codebase needs, since the
+entire sync/group distinction rides on that flag.  ``if flush:``
+branches are pruned under a specialization, and forwarded flags
+(``self._commit(txn, flush=flush)``) carry the caller's value through.
+
+The crash path is checked structurally: an ``except CrashPoint``
+handler must not transitively reach any function that can resolve a
+client future with ``set_result`` — a dead server may only
+``set_exception``.
+
+Every discharged obligation is also emitted as a verified *fact*
+(``ack-clean``, ``crash-ack-free``, ``flush-impl-sound``) so tests can
+assert the serve sync / group-commit / crash paths were actually
+proved, not merely not-flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sanitize.engine import Finding
+from repro.sanitize.deep.absint import Interproc
+from repro.sanitize.deep.callgraph import CallGraph, CallSite
+from repro.sanitize.deep.cfg import CFG, EXC, FALSE, TRUE, Node, build_cfg, calls_at
+from repro.sanitize.deep.project import FunctionInfo, Project
+
+RULE_ID = "LVM101"
+
+CLEAN = "clean"
+DIRTY = "dirty"
+ENTRY = "entry"
+
+State = FrozenSet[str]
+
+#: Receiver names (last dotted segment) that denote a log device.
+DEVICE_RECVS = frozenset({"disk", "device", "dev", "backend"})
+
+#: Receivers whose writes are synchronous-durable by contract
+#: (GroupCommit rejects a buffering inner device at construction).
+SYNC_RECVS = frozenset({"inner"})
+
+#: Buffer attributes whose ``.append`` is a no-flush commit.
+PENDING_RECVS = frozenset({"_pending"})
+
+FLUSH_NAMES = frozenset({"flush", "barrier"})
+
+_ACK_NAME = re.compile(r"(?:^|_)ack(?:$|_)|(?:^|_)acks?$")
+
+#: Specialization: sorted (param, bool) pairs.
+Spec = Tuple[Tuple[str, bool], ...]
+
+Key = Tuple[str, Spec]  # (qualname, spec)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Durability effect of one (function, specialization)."""
+
+    exits: State  #: normal-exit states, relative to a symbolic ENTRY
+    acks_dirty_entry: bool  #: may ack while still in the entry state
+
+    @staticmethod
+    def identity() -> "Summary":
+        return Summary(frozenset({ENTRY}), False)
+
+
+_BOTTOM = Summary(frozenset(), False)
+
+
+def _is_ack_name(name: str) -> bool:
+    return bool(_ACK_NAME.search(name))
+
+
+def _last_segment(receiver: Optional[str]) -> Optional[str]:
+    if receiver is None:
+        return None
+    return receiver.rsplit(".", 1)[-1]
+
+
+def _spec_test(test: ast.expr, spec: Dict[str, bool]) -> Optional[bool]:
+    """Resolve an ``if`` test under a specialization, if possible."""
+    if isinstance(test, ast.Name) and test.id in spec:
+        return spec[test.id]
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Name)
+        and test.operand.id in spec
+    ):
+        return not spec[test.operand.id]
+    return None
+
+
+def _callee_spec(
+    callee: FunctionInfo, call: ast.Call, caller_spec: Dict[str, bool]
+) -> Spec:
+    """Literal/forwarded boolean arguments of ``call``, plus defaults."""
+    values: Dict[str, bool] = {}
+
+    def literal(expr: ast.expr) -> Optional[bool]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, bool):
+            return expr.value
+        if isinstance(expr, ast.Name) and expr.id in caller_spec:
+            return caller_spec[expr.id]
+        return None
+
+    for i, arg in enumerate(call.args):
+        if i < len(callee.params):
+            value = literal(arg)
+            if value is not None:
+                values[callee.params[i]] = value
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in callee.params:
+            value = literal(kw.value)
+            if value is not None:
+                values[kw.arg] = value
+    for param, default in callee.defaults.items():
+        if isinstance(default, bool) and param not in values:
+            values[param] = default
+    return tuple(sorted(values.items()))
+
+
+class DurabilityAnalysis:
+    """Run LVM101 over a project; collect findings and verified facts."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self._cfgs: Dict[str, CFG] = {}
+        self._site_index: Dict[str, Dict[int, CallSite]] = {}
+        self._summaries: Interproc[Key, Summary] = Interproc(
+            lambda _key: _BOTTOM, self._compute
+        )
+        self.findings: List[Finding] = []
+        self.facts: List[str] = []
+        self._reported: Set[Tuple[str, int]] = set()
+        #: when reporting: ack line -> abstract states observed there
+        self._ack_observer: Optional[Dict[int, Set[str]]] = None
+        self._may_ack = self._compute_may_ack()
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+    def _cfg(self, qualname: str) -> CFG:
+        cfg = self._cfgs.get(qualname)
+        if cfg is None:
+            cfg = build_cfg(self.project.functions[qualname].node)
+            self._cfgs[qualname] = cfg
+        return cfg
+
+    def _sites(self, qualname: str) -> Dict[int, CallSite]:
+        index = self._site_index.get(qualname)
+        if index is None:
+            index = {id(s.call): s for s in self.graph.sites.get(qualname, ())}
+            self._site_index[qualname] = index
+        return index
+
+    def _compute_may_ack(self) -> Set[str]:
+        """Functions that can transitively resolve a future with
+        ``set_result`` — what a CrashPoint handler must never reach."""
+        base: Set[str] = set()
+        for info in self.project.iter_functions():
+            for node in ast.walk(info.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_result"
+                ):
+                    base.add(info.qualname)
+                    break
+        # Propagate caller-ward to a fixpoint.
+        may_ack = set(base)
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in self.graph.edges.items():
+                if caller not in may_ack and callees & may_ack:
+                    may_ack.add(caller)
+                    changed = True
+        return may_ack
+
+    # ------------------------------------------------------------------
+    # Summary computation (no findings here — two-phase)
+    # ------------------------------------------------------------------
+    def _compute(self, key: Key, lookup: Callable[[Key], Summary]) -> Summary:
+        qualname, spec = key
+        info = self.project.functions.get(qualname)
+        if info is None:
+            return Summary.identity()
+        cfg = self._cfg(qualname)
+        spec_map = dict(spec)
+        acks = [False]
+        states = self._flow(info, cfg, spec_map, lookup, acks, report=None)
+        exits = states.get(cfg.exit.nid) or frozenset()
+        return Summary(exits, acks[0])
+
+    def _flow(
+        self,
+        info: FunctionInfo,
+        cfg: CFG,
+        spec: Dict[str, bool],
+        lookup: Callable[[Key], Summary],
+        acks: List[bool],
+        report: Optional[Callable[[Node, str], None]],
+    ) -> Dict[int, State]:
+        """Worklist fixpoint over one CFG; returns per-node in-states."""
+        states: Dict[int, Optional[State]] = {nid: None for nid in cfg.nodes}
+        states[cfg.entry.nid] = frozenset({ENTRY})
+        worklist = [cfg.entry.nid]
+        while worklist:
+            nid = worklist.pop()
+            node = cfg.nodes[nid]
+            in_state = states[nid]
+            if in_state is None:
+                continue
+            out_state = self._transfer(info, spec, node, in_state, lookup, acks, report)
+            branch = None
+            if isinstance(node.stmt, ast.If):
+                branch = _spec_test(node.stmt.test, spec)
+            for succ_id, kind in node.succs:
+                if branch is True and kind == FALSE:
+                    continue
+                if branch is False and kind == TRUE:
+                    continue
+                # Exception edges observe the in-state too: the raise
+                # may precede the statement's durability effect.
+                new = out_state | in_state if kind == EXC else out_state
+                old = states[succ_id]
+                merged = new if old is None else old | new
+                if merged != old:
+                    states[succ_id] = merged
+                    worklist.append(succ_id)
+        return {nid: s for nid, s in states.items() if s is not None}
+
+    def _transfer(
+        self,
+        info: FunctionInfo,
+        spec: Dict[str, bool],
+        node: Node,
+        in_state: State,
+        lookup: Callable[[Key], Summary],
+        acks: List[bool],
+        report: Optional[Callable[[Node, str], None]],
+    ) -> State:
+        state = in_state
+        sites = self._sites(info.qualname)
+        for call in calls_at(node):
+            site = sites.get(id(call))
+            state = self._apply_call(info, spec, node, call, site, state, lookup, acks, report)
+        # A set_result inside an ack-named function is the ack itself.
+        if _is_ack_name(info.name):
+            for call in calls_at(node):
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "set_result"
+                ):
+                    self._obligation(node, state, acks, report, "set_result")
+        return state
+
+    def _apply_call(
+        self,
+        info: FunctionInfo,
+        spec: Dict[str, bool],
+        node: Node,
+        call: ast.Call,
+        site: Optional[CallSite],
+        state: State,
+        lookup: Callable[[Key], Summary],
+        acks: List[bool],
+        report: Optional[Callable[[Node, str], None]],
+    ) -> State:
+        target = site.target_name if site is not None else ""
+        if not target and isinstance(call.func, ast.Name):
+            target = call.func.id
+        elif not target and isinstance(call.func, ast.Attribute):
+            target = call.func.attr
+        receiver = site.receiver if site is not None else None
+        last = _last_segment(receiver)
+
+        # FLUSH: trusted primitive (implementations checked separately).
+        if target in FLUSH_NAMES:
+            return frozenset({CLEAN})
+        # APPEND: device write or no-flush commit buffer.
+        if target == "write" and last in DEVICE_RECVS:
+            return frozenset({DIRTY})
+        if target == "write" and last in SYNC_RECVS:
+            return state  # synchronous inner device: durable on return
+        if target == "append" and last in PENDING_RECVS:
+            return frozenset({DIRTY})
+
+        # Ack-named call: the obligation sits at this call site.
+        if _is_ack_name(target):
+            self._obligation(node, state, acks, report, target)
+
+        # Resolved call: apply callee summaries.
+        if site is not None and site.callees:
+            result: Set[str] = set()
+            for callee in site.callees:
+                summary = lookup((callee.qualname, _callee_spec(callee, call, spec)))
+                if summary.acks_dirty_entry:
+                    self._obligation(node, state, acks, report, callee.name)
+                for exit_state in summary.exits:
+                    if exit_state == ENTRY:
+                        result.update(state)
+                    else:
+                        result.add(exit_state)
+            return frozenset(result) if result else state
+        return state  # unknown callee: identity (no-op) transfer
+
+    def _obligation(
+        self,
+        node: Node,
+        state: State,
+        acks: List[bool],
+        report: Optional[Callable[[Node, str], None]],
+        what: str,
+    ) -> None:
+        if self._ack_observer is not None and node.line:
+            self._ack_observer.setdefault(node.line, set()).update(state)
+        if ENTRY in state:
+            acks[0] = True
+        if DIRTY in state and report is not None:
+            report(node, what)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Analyse every function; populate findings and facts."""
+        for qualname in sorted(self.project.functions):
+            self._report_function(qualname)
+        for qualname in sorted(self.project.functions):
+            info = self.project.functions[qualname]
+            if info.name in FLUSH_NAMES:
+                self._check_flush_impl(info)
+            self._check_crash_handlers(info)
+
+    def _report_function(self, qualname: str) -> None:
+        """Walk one function with reporting on, using stable summaries.
+
+        The root runs unspecialized (both branches of every flag);
+        call-site specializations are checked when callers are walked.
+        Ack obligations observed with a never-DIRTY state become
+        verified ``ack-clean`` facts.
+        """
+        info = self.project.functions[qualname]
+        cfg = self._cfg(qualname)
+        seen_acks: Dict[int, Set[str]] = {}
+        self._ack_observer = seen_acks
+
+        def report(node: Node, what: str) -> None:
+            key = (qualname, node.line)
+            if key in self._reported:
+                return
+            self._reported.add(key)
+            self.findings.append(
+                Finding(
+                    path=info.ctx.path,
+                    line=node.line or info.line,
+                    col=1,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"acknowledgement via {what!r} reachable while a commit/"
+                        "append may still be buffered — no flush()/barrier() on "
+                        "the owning log device dominates this ack "
+                        f"(in {info.qualname})"
+                    ),
+                )
+            )
+
+        try:
+            self._flow(
+                info, cfg, {}, lambda key: self._summaries.summary(key), [False], report
+            )
+        finally:
+            self._ack_observer = None
+
+        first = info.node.lineno
+        last = getattr(info.node, "end_lineno", None) or first
+        for line, states in sorted(seen_acks.items()):
+            # Specialized callee summaries computed during this walk
+            # report their own lines; keep only this function's.
+            if first <= line <= last and DIRTY not in states:
+                self.facts.append(f"lvm101 ack-clean {qualname}:{line}")
+
+    def _check_flush_impl(self, info: FunctionInfo) -> None:
+        """Assume/guarantee: a flush/barrier body must never exit DIRTY."""
+        summary = self._summaries.summary((info.qualname, ()))
+        if DIRTY in summary.exits:
+            self.findings.append(
+                Finding(
+                    path=info.ctx.path,
+                    line=info.line,
+                    col=1,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"flush implementation {info.qualname} may return with "
+                        "appends still buffered (a normal-exit path ends DIRTY); "
+                        "call sites trust flush() as a durability point"
+                    ),
+                )
+            )
+        else:
+            self.facts.append(f"lvm101 flush-impl-sound {info.qualname}")
+
+    def _check_crash_handlers(self, info: FunctionInfo) -> None:
+        """``except CrashPoint`` may only fail futures, never ack them."""
+        sites = self._sites(info.qualname)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                names = _handler_type_names(handler)
+                if "CrashPoint" not in names:
+                    continue
+                bad = self._handler_reaches_ack(info, handler, sites)
+                if bad is not None:
+                    self.findings.append(
+                        Finding(
+                            path=info.ctx.path,
+                            line=handler.lineno,
+                            col=handler.col_offset + 1,
+                            rule_id=RULE_ID,
+                            message=(
+                                "CrashPoint handler can reach "
+                                f"{bad} which resolves a client future with "
+                                "set_result — a dead server may only "
+                                "set_exception (ack implies durability)"
+                            ),
+                        )
+                    )
+                else:
+                    self.facts.append(
+                        f"lvm101 crash-ack-free {info.qualname}:{handler.lineno}"
+                    )
+
+    def _handler_reaches_ack(
+        self,
+        info: FunctionInfo,
+        handler: ast.ExceptHandler,
+        sites: Dict[int, CallSite],
+    ) -> Optional[str]:
+        direct: Set[str] = set()
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set_result"
+                ):
+                    return f"{info.qualname}:{node.lineno}"
+                site = sites.get(id(node))
+                if site is not None:
+                    direct.update(c.qualname for c in site.callees)
+        frontier = sorted(direct)
+        seen: Set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self._may_ack:
+                return current
+            frontier.extend(self.graph.edges.get(current, ()))
+        return None
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    if handler.type is None:
+        return ()
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    names = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+    return tuple(names)
+
+
+def check(project: Project, graph: CallGraph) -> Tuple[List[Finding], List[str]]:
+    """Entry point: LVM101 findings + verified facts for a project."""
+    analysis = DurabilityAnalysis(project, graph)
+    analysis.run()
+    return sorted(analysis.findings), sorted(analysis.facts)

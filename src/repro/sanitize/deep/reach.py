@@ -1,0 +1,147 @@
+"""LVM104 — registered fault sites must be statically reachable.
+
+The fault-site registry (``repro/faults/sites.py``) is generated from
+a textual sweep: any ``hit("...")`` literal lands in it, even one in
+dead code.  The crash sweep then "covers" the registry while never
+executing the dead site.  This rule closes that gap with call-graph
+reachability: every registered site must be referenced by at least one
+function reachable from a public entry point (public module-level
+functions, public methods of public classes, and ``main``-style CLI
+entries).
+
+Site references are either a literal first argument to ``hit`` /
+``at_site`` or a ``SITE_*`` constant name (resolved to its string
+value from the module-level assignment that defines it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.sanitize.engine import Finding
+from repro.sanitize.deep.callgraph import CallGraph, reachable_from
+from repro.sanitize.deep.project import FunctionInfo, Project
+
+RULE_ID = "LVM104"
+
+_SITE_CALLS = frozenset({"hit", "at_site"})
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def site_constants(project: Project) -> Dict[str, str]:
+    """``SITE_*`` constant name -> site string, from module bodies."""
+    constants: Dict[str, str] = {}
+    for ctx in project.contexts:
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.startswith("SITE_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+def sites_referenced(info: FunctionInfo, constants: Dict[str, str]) -> Set[str]:
+    """Site names this function can fire."""
+    sites: Set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call) and _call_name(node.func) in _SITE_CALLS:
+            arg = node.args[0] if node.args else None
+            if arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "site":
+                        arg = kw.value
+                        break
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                sites.add(arg.value)
+            elif isinstance(arg, ast.Name) and arg.id in constants:
+                sites.add(constants[arg.id])
+            elif (
+                isinstance(arg, ast.Attribute) and arg.attr in constants
+            ):
+                sites.add(constants[arg.attr])
+        elif isinstance(node, ast.Name) and node.id in constants:
+            # A bare SITE_X reference (e.g. ``self._note(SITE_X)``).
+            sites.add(constants[node.id])
+        elif isinstance(node, ast.Attribute) and node.attr in constants:
+            sites.add(constants[node.attr])
+    return sites
+
+
+def entry_points(project: Project) -> List[str]:
+    """Public roots: the API surface a caller outside ``src`` sees."""
+    roots: List[str] = []
+    for info in project.iter_functions():
+        if info.name == "main" or info.name.endswith("_main"):
+            roots.append(info.qualname)
+        elif info.is_public:
+            roots.append(info.qualname)
+        elif info.class_name is not None and info.name.startswith("__"):
+            # Dunders of public classes run implicitly (init, enter…).
+            if not info.class_name.startswith("_"):
+                roots.append(info.qualname)
+    return roots
+
+
+def check(
+    project: Project, graph: CallGraph, registered: Set[str]
+) -> Tuple[List[Finding], List[str]]:
+    """LVM104 findings for ``registered`` sites + reachability facts."""
+    constants = site_constants(project)
+    reachable = reachable_from(graph, entry_points(project))
+    live: Set[str] = set()
+    declaring: Dict[str, List[FunctionInfo]] = {}
+    for qualname, info in project.functions.items():
+        for site in sites_referenced(info, constants):
+            declaring.setdefault(site, []).append(info)
+            if qualname in reachable:
+                live.add(site)
+    findings: List[Finding] = []
+    facts: List[str] = []
+    for site in sorted(registered):
+        if site in live:
+            facts.append(f"lvm104 site-reachable {site}")
+            continue
+        holders = declaring.get(site, [])
+        if holders:
+            info = holders[0]
+            findings.append(
+                Finding(
+                    path=info.ctx.path,
+                    line=info.line,
+                    col=1,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"registered fault site {site!r} is only referenced "
+                        "by functions unreachable from any public entry "
+                        "point — the crash sweep can never fire it"
+                    ),
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    path="repro/faults/sites.py",
+                    line=1,
+                    col=1,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"registered fault site {site!r} has no reference "
+                        "anywhere in the analysed tree (stale registry entry; "
+                        "regenerate with --regen-sites)"
+                    ),
+                )
+            )
+    return sorted(findings), sorted(facts)

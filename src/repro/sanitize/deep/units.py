@@ -1,0 +1,377 @@
+"""LVM102 — cycle-unit taint: no mixing cycles with wall time or bytes.
+
+The simulator's whole timebase is the integer *cycle*; the flat rule
+LVM003 only pattern-matches ``*_cycles`` names inside one expression.
+This rule gives every value a unit from the small lattice
+
+    BOT (literals) < {CYCLES, WALL, BYTES, COUNT} < UNKNOWN
+
+and propagates it through assignments, calls, and returns
+interprocedurally.  Seeds:
+
+* names with a ``cycle``/``cycles`` word segment → CYCLES (except
+  ``per_cycle...`` — a rate, not a duration), and ``.now`` attribute
+  reads (``cpu.now``, ``proc.now``) → CYCLES;
+* ``wall``/``secs``/``seconds``/``ms`` segments and ``time.time`` /
+  ``perf_counter`` / ``monotonic`` calls → WALL;
+* ``bytes``/``nbytes`` segments → BYTES (deliberately *not* ``size`` —
+  ``group_size`` is a count);
+* ``len(...)`` → COUNT.
+
+Violations:
+
+* ``+``/``-``/comparison with CYCLES on one side and WALL or BYTES on
+  the other (multiplication is exempt: exactly one concrete operand
+  scales it — ``blocks * per_block_cycles`` is how costs are built —
+  and division always yields UNKNOWN: rates are legal);
+* assigning a concrete WALL/BYTES value to a cycle-named target;
+* passing a WALL/BYTES argument to a cycle-named parameter (or a
+  CYCLES argument to a bytes-named parameter) when the call resolves
+  to at most :data:`MAX_PARAM_CANDIDATES` candidates.
+
+Function return units are summarized bottom-up so
+``latency = self._elapsed_cycles()`` carries CYCLES across the call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sanitize.engine import Finding
+from repro.sanitize.deep.absint import Interproc
+from repro.sanitize.deep.callgraph import CallGraph, CallSite
+from repro.sanitize.deep.project import FunctionInfo, Project
+
+RULE_ID = "LVM102"
+
+BOT = "bot"
+CYCLES = "cycles"
+WALL = "wall"
+BYTES = "bytes"
+COUNT = "count"
+UNKNOWN = "unknown"
+
+CONCRETE = frozenset({CYCLES, WALL, BYTES, COUNT})
+
+#: Param-unit mismatch is only reported when the call resolves tightly.
+MAX_PARAM_CANDIDATES = 3
+
+_WALL_CALLS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
+_WALL_SEGMENTS = frozenset({"wall", "secs", "seconds", "sec", "ms", "millis"})
+_BYTES_SEGMENTS = frozenset({"bytes", "nbytes"})
+_CYCLE_SEGMENTS = frozenset({"cycle", "cycles"})
+
+_SEGMENT_RE = re.compile(r"[a-z0-9]+")
+
+
+def _segments(name: str) -> List[str]:
+    return _SEGMENT_RE.findall(name.lower())
+
+
+def unit_of_name(name: str) -> str:
+    segs = _segments(name)
+    for i, seg in enumerate(segs):
+        if seg in _CYCLE_SEGMENTS:
+            if i > 0 and segs[i - 1] == "per":
+                return UNKNOWN  # a per-cycle rate, not a duration
+            return CYCLES
+    if any(seg in _BYTES_SEGMENTS for seg in segs):
+        return BYTES
+    if any(seg in _WALL_SEGMENTS for seg in segs):
+        return WALL
+    return BOT
+
+
+def join(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if a == BOT:
+        return b
+    if b == BOT:
+        return a
+    return UNKNOWN
+
+
+def _clash(a: str, b: str) -> bool:
+    pair = {a, b}
+    return CYCLES in pair and (WALL in pair or BYTES in pair)
+
+
+class UnitAnalysis:
+    """Run LVM102 over a project."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self.findings: List[Finding] = []
+        self._site_index: Dict[str, Dict[int, CallSite]] = {}
+        #: qualname -> unit of the function's return value
+        self._returns: Interproc[str, str] = Interproc(
+            lambda _q: BOT, self._compute_return
+        )
+
+    def _sites(self, qualname: str) -> Dict[int, CallSite]:
+        index = self._site_index.get(qualname)
+        if index is None:
+            index = {id(s.call): s for s in self.graph.sites.get(qualname, ())}
+            self._site_index[qualname] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Environment: local name -> unit, flow-insensitive, two passes
+    # ------------------------------------------------------------------
+    def _environment(
+        self, info: FunctionInfo, lookup: Callable[[str], str]
+    ) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        for param in info.params:
+            seeded = unit_of_name(param)
+            if seeded != BOT:
+                env[param] = seeded
+        for _ in range(2):  # second pass resolves use-before-def in loops
+            for node in ast.walk(info.node):
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.AugAssign):
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                unit = self.unit(value, env, info, lookup, report=False)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = join(env.get(target.id, BOT), unit)
+        return env
+
+    # ------------------------------------------------------------------
+    # Expression units
+    # ------------------------------------------------------------------
+    def unit(
+        self,
+        expr: ast.expr,
+        env: Dict[str, str],
+        info: FunctionInfo,
+        lookup: Callable[[str], str],
+        report: bool,
+    ) -> str:
+        if isinstance(expr, ast.Constant):
+            return BOT
+        if isinstance(expr, ast.Name):
+            cached = env.get(expr.id)
+            if cached is not None and cached != BOT:
+                return cached
+            return unit_of_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "now":
+                return CYCLES  # cpu.now / proc.now: the cycle clock
+            return unit_of_name(expr.attr)
+        if isinstance(expr, ast.Call):
+            return self._call_unit(expr, env, info, lookup, report)
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit(expr.operand, env, info, lookup, report)
+        if isinstance(expr, ast.IfExp):
+            return join(
+                self.unit(expr.body, env, info, lookup, report),
+                self.unit(expr.orelse, env, info, lookup, report),
+            )
+        if isinstance(expr, ast.BinOp):
+            left = self.unit(expr.left, env, info, lookup, report)
+            right = self.unit(expr.right, env, info, lookup, report)
+            if isinstance(expr.op, (ast.Add, ast.Sub)):
+                if report and _clash(left, right):
+                    self._report(
+                        info,
+                        expr,
+                        f"{left} {'+' if isinstance(expr.op, ast.Add) else '-'} "
+                        f"{right}: cycle quantities cannot mix with "
+                        f"{right if left == CYCLES else left} quantities",
+                    )
+                return join(left, right)
+            if isinstance(expr.op, ast.Mult):
+                concrete = [u for u in (left, right) if u in CONCRETE]
+                if len(concrete) == 1:
+                    return concrete[0]  # scaling by a dimensionless factor
+                return UNKNOWN
+            if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+                return UNKNOWN  # rates and ratios are legal
+            if isinstance(expr.op, ast.Mod):
+                return left
+            return UNKNOWN
+        if isinstance(expr, ast.Compare):
+            left = self.unit(expr.left, env, info, lookup, report)
+            for op, comparator in zip(expr.ops, expr.comparators):
+                if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                    continue
+                right = self.unit(comparator, env, info, lookup, report)
+                if report and _clash(left, right):
+                    self._report(
+                        info,
+                        expr,
+                        f"comparison mixes {left} with {right}: cycle "
+                        "quantities compare only with cycle quantities",
+                    )
+                left = right
+            return BOT  # a bool
+        return UNKNOWN
+
+    def _call_unit(
+        self,
+        call: ast.Call,
+        env: Dict[str, str],
+        info: FunctionInfo,
+        lookup: Callable[[str], str],
+        report: bool,
+    ) -> str:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "len":
+            return COUNT
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            # time.time() / time.perf_counter() etc.
+            if name in _WALL_CALLS and isinstance(func.value, ast.Name):
+                if func.value.id == "time":
+                    return WALL
+        site = self._sites(info.qualname).get(id(call))
+        if site is not None and site.callees:
+            # Param-unit check, only on tight resolutions.
+            if report and len(site.callees) <= MAX_PARAM_CANDIDATES:
+                self._check_args(call, site, env, info, lookup)
+            result = BOT
+            for callee in site.callees:
+                result = join(result, lookup(callee.qualname))
+            if result != BOT:
+                return result
+        if name is not None:
+            seeded = unit_of_name(name)
+            if seeded != BOT:
+                return seeded
+        return UNKNOWN
+
+    def _check_args(
+        self,
+        call: ast.Call,
+        site: CallSite,
+        env: Dict[str, str],
+        info: FunctionInfo,
+        lookup: Callable[[str], str],
+    ) -> None:
+        for callee in site.callees:
+            pairs: List[Tuple[str, ast.expr]] = []
+            for i, arg in enumerate(call.args):
+                if i < len(callee.params):
+                    pairs.append((callee.params[i], arg))
+            for kw in call.keywords:
+                if kw.arg is not None and kw.arg in callee.params:
+                    pairs.append((kw.arg, kw.value))
+            for param, arg in pairs:
+                want = unit_of_name(param)
+                if want not in (CYCLES, BYTES):
+                    continue
+                got = self.unit(arg, env, info, lookup, report=False)
+                if got in CONCRETE and _clash(want, got):
+                    self._report(
+                        info,
+                        arg,
+                        f"argument carries {got} but parameter "
+                        f"{param!r} of {callee.qualname} expects {want}",
+                    )
+
+    # ------------------------------------------------------------------
+    # Return summaries
+    # ------------------------------------------------------------------
+    def _compute_return(self, qualname: str, lookup: Callable[[str], str]) -> str:
+        info = self.project.functions.get(qualname)
+        if info is None:
+            return UNKNOWN
+        env = self._environment(info, lookup)
+        result = BOT
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                result = join(
+                    result, self.unit(node.value, env, info, lookup, report=False)
+                )
+        if result == BOT:
+            seeded = unit_of_name(info.name)
+            if seeded != BOT:
+                return seeded
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, info: FunctionInfo, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=info.ctx.path,
+                line=getattr(node, "lineno", info.line),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=RULE_ID,
+                message=f"{message} (in {info.qualname})",
+            )
+        )
+
+    def run(self) -> None:
+        lookup = self._returns.summary
+        for qualname in sorted(self.project.functions):
+            info = self.project.functions[qualname]
+            env = self._environment(info, lookup)
+            for node in ast.walk(info.node):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    self._check_assign(node, env, info, lookup)
+                elif isinstance(node, (ast.BinOp, ast.Compare)):
+                    continue  # visited from statement expressions below
+                elif isinstance(node, ast.Expr):
+                    self.unit(node.value, env, info, lookup, report=True)
+                elif isinstance(node, (ast.If, ast.While)):
+                    self.unit(node.test, env, info, lookup, report=True)
+                elif isinstance(node, ast.Return) and node.value is not None:
+                    self.unit(node.value, env, info, lookup, report=True)
+
+    def _check_assign(
+        self,
+        node: ast.stmt,
+        env: Dict[str, str],
+        info: FunctionInfo,
+        lookup: Callable[[str], str],
+    ) -> None:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return
+            targets, value = [node.target], node.value
+        else:
+            assert isinstance(node, ast.AugAssign)
+            targets, value = [node.target], node.value
+        unit = self.unit(value, env, info, lookup, report=True)
+        if unit not in (WALL, BYTES):
+            return
+        for target in targets:
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is not None and unit_of_name(name) == CYCLES:
+                self._report(
+                    info,
+                    node,
+                    f"cycle-named target {name!r} assigned a {unit} value",
+                )
+
+
+def check(project: Project, graph: CallGraph) -> Tuple[List[Finding], List[str]]:
+    """Entry point: LVM102 findings (facts list kept for symmetry)."""
+    analysis = UnitAnalysis(project, graph)
+    analysis.run()
+    # Dedupe: expressions reachable from several statement walks.
+    unique = sorted(set(analysis.findings))
+    return unique, []

@@ -100,6 +100,9 @@ class FileContext:
     tree: ast.Module
     #: line -> rule ids suppressed there (or :data:`SUPPRESS_ALL`)
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, rule-id-or-*) suppressions that matched a diagnostic —
+    #: anything left unused is a dead suppression (LVM007)
+    used_suppressions: Set[Tuple[int, str]] = field(default_factory=set)
 
     @property
     def package_parts(self) -> Tuple[str, ...]:
@@ -128,7 +131,13 @@ class FileContext:
         rules = self.suppressions.get(finding.line)
         if not rules:
             return False
-        return SUPPRESS_ALL in rules or finding.rule_id in rules
+        if finding.rule_id in rules:
+            self.used_suppressions.add((finding.line, finding.rule_id))
+            return True
+        if SUPPRESS_ALL in rules:
+            self.used_suppressions.add((finding.line, SUPPRESS_ALL))
+            return True
+        return False
 
 
 def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
@@ -167,12 +176,58 @@ def make_context(source: str, module_path: str, path: str | None = None) -> File
     )
 
 
-def run_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+#: Rule id of the engine-level dead-suppression check.
+DEAD_SUPPRESSION_ID = "LVM007"
+
+DEAD_SUPPRESSION_TITLE = "suppression comments must still match a diagnostic"
+DEAD_SUPPRESSION_RATIONALE = (
+    "an `# lvm-san: ignore[...]` whose diagnostic no longer fires is a "
+    "trap: the code it excused has changed, but the suppression will "
+    "silently swallow the next, different violation on that line.  Only "
+    "checked when the full rule set runs (under --select a suppression "
+    "for an unselected rule is not dead, just unexercised)."
+)
+
+
+def dead_suppression_findings(ctx: FileContext) -> List[Finding]:
+    """LVM007: suppressions that matched nothing this run.
+
+    Call only after every rule (including deep rules, when enabled) has
+    been filtered through :meth:`FileContext.suppressed`, and only when
+    the *full* rule set ran — under ``--select`` an unmatched
+    suppression proves nothing.
+    """
+    findings: List[Finding] = []
+    for line, rules in sorted(ctx.suppressions.items()):
+        for rule_id in sorted(rules):
+            if (line, rule_id) in ctx.used_suppressions:
+                continue
+            label = "" if rule_id == SUPPRESS_ALL else f"[{rule_id}]"
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=line,
+                    col=1,
+                    rule_id=DEAD_SUPPRESSION_ID,
+                    message=(
+                        f"dead suppression: `lvm-san: ignore{label}` matches "
+                        "no diagnostic on this line — remove it"
+                    ),
+                )
+            )
+    return findings
+
+
+def run_rules(
+    ctx: FileContext, rules: Sequence[Rule], check_suppressions: bool = False
+) -> List[Finding]:
     findings: List[Finding] = []
     for rule in rules:
         for finding in rule.check(ctx):
             if not ctx.suppressed(finding):
                 findings.append(finding)
+    if check_suppressions:
+        findings.extend(dead_suppression_findings(ctx))
     return sorted(findings)
 
 
@@ -200,8 +255,18 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
             yield path
 
 
-def lint_paths(paths: Sequence[Path], rules: Sequence[Rule]) -> List[Finding]:
-    """Lint files/trees on disk; parse failures become findings."""
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    check_suppressions: bool = False,
+) -> List[Finding]:
+    """Lint files/trees on disk; parse failures become findings.
+
+    ``check_suppressions`` enables the LVM007 dead-suppression pass;
+    it is only sound when *every* rule a suppression could name runs,
+    so the CLI enables it for ``--deep`` runs (flat + deep rules) and
+    leaves it off for flat or ``--select`` runs.
+    """
     findings: List[Finding] = []
     for file_path in iter_python_files(paths):
         source = file_path.read_text()
@@ -218,5 +283,5 @@ def lint_paths(paths: Sequence[Path], rules: Sequence[Rule]) -> List[Finding]:
                 )
             )
             continue
-        findings.extend(run_rules(ctx, rules))
+        findings.extend(run_rules(ctx, rules, check_suppressions=check_suppressions))
     return sorted(findings)

@@ -1,0 +1,13 @@
+"""Fixture code: one live site, one behind an uncalled private helper."""
+
+SITE_LIVE = "fx.live"
+SITE_ORPHAN = "fx.orphan"
+
+
+def _hidden(plan):
+    # No public caller reaches this, so the sweep can never fire it.
+    plan.hit(SITE_ORPHAN)
+
+
+def run(plan):
+    plan.hit(SITE_LIVE)

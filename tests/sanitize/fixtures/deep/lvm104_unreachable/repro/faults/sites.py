@@ -1,0 +1,10 @@
+"""Fixture registry: ``fx.orphan`` is registered but unreachable."""
+
+from __future__ import annotations
+
+SITES: dict[str, tuple[str, ...]] = {
+    "fx.live": ("repro/faults/extra.py",),
+    "fx.orphan": ("repro/faults/extra.py",),
+}
+
+ALL_SITES: frozenset[str] = frozenset(SITES)

@@ -1,0 +1,18 @@
+"""Seeded violation: the ack races the buffered commit record."""
+
+
+class Disk:
+    def write(self, rec):
+        pass
+
+    def flush(self):
+        pass
+
+
+class Srv:
+    def __init__(self):
+        self.disk = Disk()
+
+    def commit_ack(self, rec, fut):
+        self.disk.write(rec)
+        fut.set_result(True)  # acked while the record may still be buffered

@@ -1,0 +1,19 @@
+"""Seeded violation: a CrashPoint handler that acknowledges clients."""
+
+
+class CrashPoint(Exception):
+    pass
+
+
+class Srv:
+    def _ack(self, fut):
+        fut.set_result(True)
+
+    def step(self):
+        pass
+
+    def serve(self, fut):
+        try:
+            self.step()
+        except CrashPoint:
+            self._ack(fut)  # a crashed server must never ack

@@ -1,0 +1,14 @@
+"""Seeded violation: a flush() that leaves its own write buffered."""
+
+
+class Dev:
+    def write(self, rec):
+        pass
+
+
+class Wrapper:
+    def __init__(self):
+        self.device = Dev()
+
+    def flush(self):
+        self.device.write(b"tail")  # the tail write is never made durable

@@ -1,0 +1,11 @@
+"""Seeded violation: a helper's wall-clock return flows into cycles."""
+
+import time
+
+
+def wall_now():
+    return time.time()
+
+
+def deadline(cycle_count):
+    return cycle_count + wall_now()  # cycles plus seconds, via the call

@@ -1,0 +1,8 @@
+"""Seeded violation: wall-clock seconds subtracted from cycle counts."""
+
+import time
+
+
+def elapsed(start_cycles):
+    wall = time.time()
+    return wall - start_cycles  # seconds minus cycles

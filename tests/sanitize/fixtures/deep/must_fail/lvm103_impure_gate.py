@@ -1,0 +1,7 @@
+"""Seeded violation: state mutation inside an _ACTIVE gate."""
+
+
+def traced(tracer, obj):
+    t = tracer._ACTIVE
+    if t is not None:
+        obj.count += 1  # traced and bare runs now diverge

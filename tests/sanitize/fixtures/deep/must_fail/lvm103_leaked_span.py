@@ -1,0 +1,9 @@
+"""Seeded violation: an early return leaks the dispatch span."""
+
+
+def handler(obs, req):
+    obs.stage_enter("dispatch")
+    if req is None:
+        return None  # leaves the span open on a normal path
+    obs.stage_exit("dispatch")
+    return req

@@ -1,0 +1,23 @@
+"""Conforming twin: flush + barrier dominate the acknowledgement."""
+
+
+class Disk:
+    def write(self, rec):
+        pass
+
+    def flush(self):
+        pass
+
+    def barrier(self):
+        pass
+
+
+class Srv:
+    def __init__(self):
+        self.disk = Disk()
+
+    def commit_ack(self, rec, fut):
+        self.disk.write(rec)
+        self.disk.flush()
+        self.disk.barrier()
+        fut.set_result(True)

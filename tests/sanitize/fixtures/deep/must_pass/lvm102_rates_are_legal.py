@@ -1,0 +1,9 @@
+"""Conforming twin: dividing across domains produces a rate, not a mix."""
+
+
+def throughput(total_cycles, wall_secs):
+    return total_cycles / wall_secs
+
+
+def mean_cost(total_cycles, count):
+    return total_cycles // max(1, count)

@@ -1,0 +1,13 @@
+"""Conforming twin: the span closes on every path via finally."""
+
+
+def handler(obs, req):
+    obs.stage_enter("dispatch")
+    try:
+        return process(req)
+    finally:
+        obs.stage_exit("dispatch")
+
+
+def process(req):
+    return req
